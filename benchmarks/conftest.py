@@ -1,0 +1,23 @@
+"""Benchmark fixtures: ensure the model zoo is trained and cached."""
+
+import pytest
+
+from repro.models import load_model
+
+
+@pytest.fixture(scope="session")
+def zoo_7b():
+    """The 7B stand-in (trains on first use, then loads from cache)."""
+    return load_model("llama-sim-7b")
+
+
+@pytest.fixture(scope="session")
+def zoo_all():
+    return {name: load_model(name)
+            for name in ("llama-sim-3b", "llama-sim-7b", "llama-sim-13b")}
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """pytest-benchmark wrapper for heavy experiments: a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,36 @@
+"""Bench: FineQ design-space ablations (cluster size, threshold, bits)."""
+
+from repro.experiments import ablations
+from benchmarks.conftest import run_once
+
+
+def test_ablations(benchmark, zoo_7b):
+    result = run_once(benchmark, ablations.run)
+    print("\n" + result.to_text())
+
+    rows = {r[0]: (r[1], r[2]) for r in result.rows}
+
+    # Smaller clusters cost more index bits (2 bits of metadata amortised
+    # over fewer weights).
+    bits2, ppl2 = rows["cluster=2"]
+    bits3, ppl3 = rows["cluster=3 (paper)"]
+    bits6, ppl6 = rows["cluster=6"]
+    assert bits2 > bits3
+    assert bits6 <= bits3 + 0.05
+
+    # A lax detection threshold misses outliers and hurts accuracy.
+    _, ppl_lax = rows["threshold=8x"]
+    _, ppl_paper = rows["threshold=4x (paper)"]
+    assert ppl_lax > ppl_paper
+
+    # FP16 protection costs many extra bits (paper Observation II: 3 bits
+    # suffice for outliers) for at most a marginal accuracy gain.
+    bits_fp16, ppl_fp16 = rows["protect=fp16"]
+    bits_3b, ppl_3b = rows["protect=3b (paper)"]
+    assert bits_fp16 > bits_3b + 1.0
+    assert ppl_3b < 1.5 * ppl_fp16
+
+    # Disabling harmonization cannot make accuracy much worse (it only
+    # removes the format constraint).
+    _, ppl_noharm = rows["no harmonization"]
+    assert ppl_noharm <= ppl_3b * 1.05

@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 1 (perplexity vs bit-width on 7B / C4)."""
+
+from repro.experiments import fig1
+from benchmarks.conftest import run_once
+
+
+def test_fig1_bitwidth_sweep(benchmark, zoo_7b):
+    result = run_once(benchmark, fig1.run)
+    print("\n" + result.to_text())
+
+    ppl = {(r[0], r[1]): r[3] for r in result.rows}
+    fp16 = ppl[("fp16", 16)]
+
+    # Single-precision methods track FP16 down to 4-3 bits ...
+    assert ppl[("rtn", 8)] < 1.5 * fp16
+    assert ppl[("rtn", 4)] < 2.5 * fp16
+    # ... and fall off a cliff at 2 bits (the paper's Fig. 1 story).
+    assert ppl[("rtn", 2)] > 10 * fp16
+    assert ppl[("rtn", 2)] > 8 * ppl[("rtn", 3)]
+    # GPTQ degrades more gracefully but still clearly at 2 bits.
+    assert ppl[("gptq", 2)] > ppl[("gptq", 4)]
+    # FineQ at 2.33 bits beats every 2-bit single-precision point.
+    fineq = ppl[("fineq", 2.33)]
+    assert fineq < ppl[("rtn", 2)]
+    assert fineq < ppl[("gptq", 2)]
+    assert fineq < 3.5 * fp16

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 2(b) (serving-memory layout)."""
+
+from repro.experiments import fig2b
+from benchmarks.conftest import run_once
+
+
+def test_fig2b_memory_layout(benchmark):
+    result = run_once(benchmark, fig2b.run)
+    print("\n" + result.to_text())
+
+    fp16 = result.row_by("Weights", "FP16")
+    # Paper split: ~65% weights / ~30% KV / ~5% others.
+    assert 55 <= fp16[4] <= 75
+    assert 20 <= fp16[5] <= 40
+    assert fp16[6] <= 15
+
+    fineq = result.rows[1]
+    # FineQ shrinks the weight pool by ~6.9x, flipping the balance.
+    assert fineq[1] < fp16[1] / 6
+    assert fineq[4] < fp16[4]

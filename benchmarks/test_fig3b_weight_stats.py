@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 3(b) (weight stats + uniform bit-width cliff)."""
+
+from repro.experiments import fig3b
+from benchmarks.conftest import run_once
+
+
+def test_fig3b_weight_stats(benchmark, zoo_7b):
+    result = run_once(benchmark, fig3b.run)
+    print("\n" + result.to_text())
+
+    outlier_pct = result.row_by("Quantity", "outlier ratio (%)")[1]
+    # A small minority of weights are outliers (paper: ~0.3%).
+    assert 0.05 < outlier_pct < 5.0
+    concentration = result.row_by(
+        "Quantity", "top-5% channel concentration (%)")[1]
+    # Outliers concentrate in few channels well beyond the 5% uniform share.
+    assert concentration > 12.0
+
+    ppl = {row[0]: row[1] for row in result.rows if "PPL" in row[0]}
+    # 16 -> 3 bits: limited impact; 3 -> 2 bits: severe loss (Observation II).
+    assert ppl["uniform 3b PPL"] < 5 * ppl["uniform 16b PPL"]
+    assert ppl["uniform 2b PPL"] > 10 * ppl["uniform 3b PPL"]

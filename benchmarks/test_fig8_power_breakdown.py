@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 8 (FineQ PE-array power split)."""
+
+import numpy as np
+
+from repro.experiments import fig8
+from benchmarks.conftest import run_once
+
+
+def test_fig8_power_breakdown(benchmark):
+    result = run_once(benchmark, fig8.run)
+    print("\n" + result.to_text())
+    split = result.meta["split"]
+    paper = result.meta["paper"]
+    for component in ("acc", "pe_array", "temporal_encoder"):
+        assert np.isclose(split[component], paper[component], atol=0.01)
+    # The ACC adder trees dominate; the encoder is marginal.
+    assert split["acc"] > 0.6
+    assert split["temporal_encoder"] < 0.05

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 9 (normalised energy efficiency)."""
+
+from repro.experiments import fig9
+from benchmarks.conftest import run_once
+
+
+def test_fig9_energy_efficiency(benchmark):
+    result = run_once(benchmark, fig9.run)
+    print("\n" + result.to_text())
+
+    means = result.column("Mean")
+    # FineQ wins on every model and sequence length ...
+    for row in result.rows:
+        for value in row[1:-2]:
+            assert value > 1.0
+    # ... and the average sits in the paper's band (up to 1.79x average).
+    overall = result.meta["overall_mean"]
+    assert 1.5 < overall < 2.1
+    # Larger models benefit at least as much (weights dominate traffic).
+    assert means == sorted(means)

@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the core kernels (true pytest-benchmark timing).
+
+These measure the software pipeline itself — quantization, packing,
+decoding, temporal matmul — rather than regenerating a paper artifact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FineQQuantizer, pack_matrix, unpack_matrix
+from repro.hw import TemporalCodingArray
+from repro.quant import get_quantizer
+
+
+@pytest.fixture(scope="module")
+def big_weight():
+    gen = np.random.default_rng(0)
+    weight = gen.standard_normal((512, 512)).astype(np.float64) * 0.05
+    weight[:, gen.choice(512, 10, replace=False)] *= 9.0
+    return weight
+
+
+def test_bench_fineq_quantize(benchmark, big_weight):
+    quantizer = FineQQuantizer()
+    dequantized, record = benchmark(quantizer.quantize_weight, big_weight)
+    assert 2.3 < record.avg_bits < 2.5
+
+
+def test_bench_rtn_quantize(benchmark, big_weight):
+    quantizer = get_quantizer("rtn", bits=2)
+    dequantized, _ = benchmark(quantizer.quantize_weight, big_weight)
+    assert dequantized.shape == big_weight.shape
+
+
+def test_bench_pack(benchmark, big_weight):
+    quantizer = FineQQuantizer(channel_axis="output")
+    _, artifacts = quantizer.quantize_with_artifacts(big_weight)
+    packed = benchmark(pack_matrix, artifacts["codes"], artifacts["schemes"],
+                       artifacts["scales"], big_weight.shape)
+    assert packed.bits_per_weight < 2.5
+
+
+def test_bench_unpack(benchmark, big_weight):
+    quantizer = FineQQuantizer(channel_axis="output")
+    _, artifacts = quantizer.quantize_with_artifacts(big_weight)
+    packed = pack_matrix(artifacts["codes"], artifacts["schemes"],
+                         artifacts["scales"], big_weight.shape)
+    codes, _, _ = benchmark(unpack_matrix, packed)
+    assert np.array_equal(codes, artifacts["codes"])
+
+
+def test_bench_temporal_matmul(benchmark):
+    gen = np.random.default_rng(1)
+    weights = gen.integers(-3, 4, size=(128, 128))
+    activations = gen.standard_normal((128, 64))
+    array = TemporalCodingArray()
+    result = benchmark(array.run, weights, activations)
+    np.testing.assert_allclose(result.output, weights @ activations)

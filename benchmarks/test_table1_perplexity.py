@@ -1,0 +1,46 @@
+"""Bench: regenerate Table I (perplexity across models/methods/datasets).
+
+Asserts the paper's qualitative shape: calibration-free single-precision
+methods collapse at 2 bits, mixed-precision methods survive, and FineQ
+stays within a small factor of FP16 at ~2.4 bits.
+"""
+
+from repro.experiments import table1
+from benchmarks.conftest import run_once
+
+
+def test_table1_perplexity(benchmark, zoo_all):
+    result = run_once(benchmark, table1.run)
+    print("\n" + result.to_text())
+
+    fineq_means, owq_means = [], []
+    for model_name in zoo_all:
+        rows = {r[1]: r for r in result.rows if r[0] == model_name}
+        wiki = {method: row[3] for method, row in rows.items()}
+        fineq_means.append(wiki["fineq"])
+        owq_means.append(wiki["owq"])
+
+        # FP16 is the floor.
+        assert wiki["fp16"] == min(wiki.values())
+        # Calibration-free 2-bit methods are catastrophically bad.
+        assert wiki["rtn"] > 10 * wiki["fp16"]
+        assert wiki["uniform"] > 50 * wiki["fp16"]
+        assert wiki["uniform"] > wiki["rtn"]
+        # FineQ holds accuracy near FP16 ...
+        assert wiki["fineq"] < 3.5 * wiki["fp16"]
+        # ... and beats the calibration-free single-precision methods by a
+        # wide margin at a close bit budget.
+        assert wiki["fineq"] < wiki["rtn"] / 5
+        # GPTQ's error compensation is disproportionately strong at this
+        # substrate scale (see EXPERIMENTS.md deviations); FineQ must stay
+        # within a small factor of it without any calibration data at all.
+        assert wiki["fineq"] < 1.5 * wiki["gptq"]
+        # FineQ never trails OWQ by more than the substrate noise margin.
+        assert wiki["fineq"] < 1.25 * wiki["owq"]
+
+        bits = {method: row[2] for method, row in rows.items()}
+        assert 2.3 < bits["fineq"] < 2.6
+        assert bits["owq"] < bits["fineq"] < bits["pb-llm"]
+
+    # Aggregate headline: FineQ clearly ahead of OWQ across the zoo.
+    assert sum(fineq_means) < 0.5 * sum(owq_means)

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table II (sequence-length sensitivity on the 7B)."""
+
+from repro.experiments import table2
+from benchmarks.conftest import run_once
+
+
+def test_table2_seqlen(benchmark, zoo_7b):
+    result = run_once(benchmark, table2.run)
+    print("\n" + result.to_text())
+
+    seq_lengths = result.meta["seq_lengths"]
+    for seq_len in seq_lengths:
+        rows = {r[1]: r for r in result.rows if r[0] == seq_len}
+        wiki = {m: row[3] for m, row in rows.items()}
+        # FineQ consistently outperforms the single-precision baselines
+        # at every sequence length (the paper's robustness claim).
+        assert wiki["fineq"] < wiki["rtn"]
+        assert wiki["fineq"] < wiki["uniform"]
+        assert wiki["fineq"] < wiki["owq"]
+
+    # The paper's robustness claim: FineQ's degradation over FP16 stays
+    # bounded and stable across sequence lengths (other methods swing by
+    # orders of magnitude).
+    fineq_series = [r[3] for r in result.rows if r[1] == "fineq"]
+    fp16_series = [r[3] for r in result.rows if r[1] == "fp16"]
+    ratios = [q / f for q, f in zip(fineq_series, fp16_series)]
+    assert max(ratios) < 3.0
+    assert max(ratios) / min(ratios) < 2.0

@@ -1,0 +1,23 @@
+"""Bench: regenerate Table III (area/power of accelerator core modules)."""
+
+import numpy as np
+
+from repro.experiments import table3
+from benchmarks.conftest import run_once
+
+
+def test_table3_area_power(benchmark):
+    result = run_once(benchmark, table3.run)
+    print("\n" + result.to_text())
+
+    paper = result.meta["paper"]
+    systolic = result.row_by("Architecture", "Systolic Array")
+    fineq = result.row_by("Architecture", "FineQ PE Array")
+    decoder = result.row_by("Architecture", "FineQ Decoder")
+
+    assert np.isclose(systolic[2], paper["systolic_array"]["area_mm2"], rtol=1e-3)
+    assert np.isclose(fineq[3], paper["fineq_pe_array"]["power_mw"], rtol=1e-3)
+    assert np.isclose(decoder[2], paper["fineq_decoder"]["area_mm2"], atol=1e-3)
+    # Headline claims: 61.2% area and ~63% power reduction.
+    assert np.isclose(result.meta["area_reduction"], 0.612, atol=0.01)
+    assert np.isclose(result.meta["power_reduction"], 0.629, atol=0.015)

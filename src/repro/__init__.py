@@ -1,0 +1,19 @@
+"""FineQ (DATE 2025) reproduction.
+
+Public API highlights
+---------------------
+* :class:`repro.nn.TransformerLM` — LLaMA-architecture LM substrate.
+* :func:`repro.models.load_model` — the trained simulation model zoo.
+* :func:`repro.quant.get_quantizer` — baseline quantizers (Uniform, RTN,
+  GPTQ, PB-LLM, OWQ).
+* :class:`repro.core.FineQQuantizer` — the paper's contribution.
+* :mod:`repro.hw` — temporal-coding accelerator functional + cycle model.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "0.1.0"
+
+from repro.autograd import Tensor, no_grad
+from repro.nn import ModelConfig, TransformerLM
+
+__all__ = ["Tensor", "no_grad", "ModelConfig", "TransformerLM", "__version__"]

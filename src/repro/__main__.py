@@ -1,0 +1,99 @@
+"""Command-line interface.
+
+Examples
+--------
+List the model zoo and registered quantizers::
+
+    python -m repro list
+
+Quantize a zoo model and report perplexity::
+
+    python -m repro quantize --model llama-sim-7b --method fineq
+
+Regenerate every paper table/figure into EXPERIMENTS.md::
+
+    python -m repro report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.models import ZOO_CONFIGS
+    from repro.quant import available_methods
+    print("zoo models:")
+    for name, config in ZOO_CONFIGS.items():
+        print(f"  {name}: {config.num_layers} layers, d_model "
+              f"{config.d_model}, d_ff {config.d_ff}")
+    print("quantizers:", ", ".join(available_methods()))
+    return 0
+
+
+def _cmd_quantize(args) -> int:
+    from repro.eval.harness import quantized_perplexity
+    from repro.models import load_model
+    zoo = load_model(args.model)
+    kwargs = {}
+    if args.bits is not None:
+        kwargs["bits"] = args.bits
+    result, report = quantized_perplexity(
+        zoo.model, zoo.tokenizer, args.method,
+        ("wikitext-sim", "c4-sim"), seq_len=args.seq_len,
+        method_kwargs=kwargs or None)
+    print(f"method={result.method} avg_bits={result.avg_bits:.2f}")
+    for dataset, ppl in result.perplexity.items():
+        print(f"  {dataset}: PPL {ppl:.2f}")
+    if report is not None:
+        print(f"  quantized payload: {report.total_bytes() / 1024:.1f} KiB")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import main as report_main
+    report_main([args.output] if args.output else [])
+    return 0
+
+
+def _cmd_zoo(_args) -> int:
+    from repro.models import load_model, ZOO_CONFIGS
+    for name in ZOO_CONFIGS:
+        zoo = load_model(name)
+        print(f"{name}: val_loss {zoo.meta['train'].get('val_loss', '?')}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FineQ (DATE 2025) reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list zoo models and quantizers"
+                   ).set_defaults(func=_cmd_list)
+
+    quantize = sub.add_parser("quantize",
+                              help="quantize a zoo model, report perplexity")
+    quantize.add_argument("--model", default="llama-sim-7b")
+    quantize.add_argument("--method", default="fineq")
+    quantize.add_argument("--bits", type=int, default=None)
+    quantize.add_argument("--seq-len", type=int, default=256)
+    quantize.set_defaults(func=_cmd_quantize)
+
+    report = sub.add_parser("report", help="write EXPERIMENTS.md")
+    report.add_argument("--output", default=None)
+    report.set_defaults(func=_cmd_report)
+
+    sub.add_parser("zoo", help="train/verify all zoo models"
+                   ).set_defaults(func=_cmd_zoo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

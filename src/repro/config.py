@@ -1,0 +1,24 @@
+"""Repository-wide paths and defaults."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def artifacts_dir() -> Path:
+    """Directory caching trained model weights and experiment outputs.
+
+    Override with the ``REPRO_ARTIFACTS`` environment variable (tests use
+    a temporary directory).
+    """
+    root = os.environ.get("REPRO_ARTIFACTS")
+    if root is None:
+        root = Path(__file__).resolve().parents[2] / "artifacts"
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+#: Default random seed used everywhere a seed is not supplied explicitly.
+DEFAULT_SEED = 20250428  # arXiv submission date of the paper

@@ -1,0 +1,35 @@
+"""FineQ: fine-grained intra-cluster mixed-precision quantization.
+
+The paper's contribution (Sec. III): weights are processed per channel in
+clusters of three values; clusters whose max/min magnitude ratio exceeds
+4x get the intra-cluster outlier protection (two 3-bit codes, smallest
+value sacrificed), all others use three 2-bit codes.  A 2-bit index per
+*pair* of clusters selects the layout, yielding an aligned memory format
+of 7 bytes per 24 weights = 2.33 bits/weight.
+"""
+
+from repro.core.clusters import (CLUSTER_SIZE, OUTLIER_RATIO, cluster_weights,
+                                 detect_outlier_clusters, initial_schemes,
+                                 SCHEME_WIDTHS, SCHEME_NAMES)
+from repro.core.encoding import (harmonize_pairs, scheme_reconstruction_error,
+                                 channel_scales, quantize_codes,
+                                 dequantize_codes)
+from repro.core.quantizer import FineQQuantizer, FineQConfig
+from repro.core.generalized import GeneralizedFineQ
+from repro.core.packing import PackedMatrix, pack_matrix, unpack_matrix
+from repro.core.layout import ServingMemoryLayout, serving_memory_layout
+
+from repro.quant.registry import register as _register
+
+_register("fineq", FineQQuantizer)
+_register("fineq-gen", GeneralizedFineQ)
+
+__all__ = [
+    "CLUSTER_SIZE", "OUTLIER_RATIO", "cluster_weights",
+    "detect_outlier_clusters", "initial_schemes", "SCHEME_WIDTHS",
+    "SCHEME_NAMES", "harmonize_pairs", "scheme_reconstruction_error",
+    "channel_scales", "quantize_codes", "dequantize_codes",
+    "FineQQuantizer", "FineQConfig", "GeneralizedFineQ", "PackedMatrix",
+    "pack_matrix", "unpack_matrix", "ServingMemoryLayout",
+    "serving_memory_layout",
+]

@@ -1,0 +1,105 @@
+"""Scheme selection, pair harmonization, and (de)quantization on scales.
+
+Implements Algorithm 1 lines 15-26 and the paper's Eq. 1:
+
+* adjacent clusters form *pairs* that must share one 2-bit encoding index
+  (that is what lets one index byte describe eight clusters); pairs whose
+  members disagree pick the scheme minimising the summed reconstruction
+  error (``argmin_l Loss(Ci, Cj, l)``);
+* each channel then gets one symmetric scale
+  ``s_c = max(|w_c|) / (2^(b_c - 1) - 1)`` where ``b_c`` is 3 if the
+  channel contains any outlier cluster and 2 otherwise — this reproduces
+  the scales of the paper's Fig. 4 walking example exactly;
+* values are rounded to their per-position grids and clipped to the
+  allocated magnitude range ({-1,0,1} at 2 bits, {-3..3} at 3 bits,
+  forced 0 at 0 bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clusters import SCHEME_WIDTHS, qmax_for_widths
+
+
+def round_half_away(x: np.ndarray) -> np.ndarray:
+    """Round halves away from zero (matches the paper's Fig. 4 example,
+    where 0.02/0.04 = 0.5 quantizes to 1, unlike numpy's banker rounding)."""
+    return np.sign(x) * np.floor(np.abs(x) + 0.5)
+
+
+def channel_scales(clusters: np.ndarray, schemes: np.ndarray) -> np.ndarray:
+    """Per-channel scale from Eq. 1; ``(rows, 1, 1)`` for broadcasting.
+
+    Channels containing at least one outlier cluster use the 3-bit grid
+    (``qmax = 3``); all-normal channels use the 2-bit grid (``qmax = 1``).
+    """
+    rows = clusters.shape[0]
+    max_abs = np.abs(clusters).reshape(rows, -1).max(axis=1)
+    has_outlier = (schemes > 0).any(axis=1)
+    qmax = np.where(has_outlier, 3.0, 1.0)
+    scale = np.where(max_abs > 0, max_abs / qmax, 1.0)
+    return scale.reshape(rows, 1, 1)
+
+
+def quantize_codes(clusters: np.ndarray, schemes: np.ndarray,
+                   scales: np.ndarray) -> np.ndarray:
+    """Integer codes ``(rows, clusters, 3)`` under the given schemes."""
+    widths = SCHEME_WIDTHS[schemes]            # (rows, clusters, 3)
+    qmax = qmax_for_widths(widths)
+    codes = round_half_away(clusters / scales)
+    return np.clip(codes, -qmax, qmax).astype(np.int64)
+
+
+def dequantize_codes(codes: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Reconstruct real values from integer codes and channel scales."""
+    return codes * scales
+
+
+def scheme_reconstruction_error(clusters: np.ndarray, scales: np.ndarray
+                                ) -> np.ndarray:
+    """Squared reconstruction error of every scheme for every cluster.
+
+    Returns ``(4, rows, clusters)``: entry ``l`` is the error if scheme
+    ``l`` were used for that cluster at the given channel scale.
+    """
+    errors = np.empty((len(SCHEME_WIDTHS),) + clusters.shape[:2])
+    for scheme_index in range(len(SCHEME_WIDTHS)):
+        widths = SCHEME_WIDTHS[scheme_index]
+        qmax = qmax_for_widths(widths)
+        codes = np.clip(round_half_away(clusters / scales), -qmax, qmax)
+        residual = clusters - codes * scales
+        errors[scheme_index] = (residual ** 2).sum(axis=-1)
+    return errors
+
+
+def harmonize_pairs(clusters: np.ndarray, schemes: np.ndarray,
+                    scales: np.ndarray) -> np.ndarray:
+    """Force adjacent cluster pairs to share one encoding scheme.
+
+    Pairs are ``(0,1), (2,3), ...``; an odd trailing cluster keeps its own
+    scheme (it gets a dedicated index field whose second slot is padding).
+    Agreeing pairs are untouched; disagreeing pairs take the
+    error-minimising scheme over both members (Algorithm 1 line 22).
+    """
+    rows, num_clusters = schemes.shape
+    result = schemes.copy()
+    even_count = num_clusters - (num_clusters % 2)
+    if even_count == 0:
+        return result
+
+    left = result[:, 0:even_count:2]
+    right = result[:, 1:even_count:2]
+    disagree = left != right
+    if not disagree.any():
+        return result
+
+    errors = scheme_reconstruction_error(clusters, scales)  # (4, rows, C)
+    pair_errors = (errors[:, :, 0:even_count:2]
+                   + errors[:, :, 1:even_count:2])          # (4, rows, P)
+    best = pair_errors.argmin(axis=0)                       # (rows, P)
+    left[disagree] = best[disagree]
+    right[disagree] = best[disagree]
+    result[:, 0:even_count:2] = left
+    result[:, 1:even_count:2] = right
+    return result

@@ -1,0 +1,152 @@
+"""Generalised FineQ used by the design-space ablations.
+
+The paper fixes cluster size 3, a 4x outlier rule and 3-bit protection;
+this variant exposes each choice so the ablation bench can quantify why
+the paper's operating point is where it is:
+
+* ``cluster_size`` — weights per cluster (2/3/6 ...);
+* ``outlier_ratio`` — the detection threshold;
+* ``protect_bits`` — outlier code width; 16 models the OWQ/LLM-MQ-style
+  FP16 passthrough (the paper argues 3 bits suffice);
+* ``harmonize`` — whether adjacent clusters must share an encoding.
+
+Bit accounting is exact for each configuration (payload + per-cluster
+index + per-channel scale), so the memory/accuracy trade-off curve is
+honest even for non-paper points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.base import Quantizer, QuantRecord
+from repro.core.encoding import round_half_away
+
+
+class GeneralizedFineQ(Quantizer):
+    """FineQ with configurable cluster size / threshold / protection."""
+
+    name = "fineq-gen"
+
+    def __init__(self, cluster_size: int = 3, outlier_ratio: float = 4.0,
+                 protect_bits: int = 3, harmonize: bool = True,
+                 channel_axis: str = "input"):
+        if cluster_size < 2:
+            raise ValueError("cluster_size must be >= 2")
+        if protect_bits not in (3, 4, 16):
+            raise ValueError("protect_bits must be 3, 4 or 16")
+        if channel_axis not in ("input", "output"):
+            raise ValueError("channel_axis must be 'input' or 'output'")
+        self.cluster_size = cluster_size
+        self.outlier_ratio = outlier_ratio
+        self.protect_bits = protect_bits
+        self.harmonize = harmonize
+        self.channel_axis = channel_axis
+
+    # ------------------------------------------------------------------ #
+    def quantize_weight(self, weight: np.ndarray,
+                        inputs: np.ndarray | None = None
+                        ) -> tuple[np.ndarray, QuantRecord]:
+        w = np.asarray(weight, dtype=np.float64)
+        transposed = self.channel_axis == "input"
+        if transposed:
+            w = w.T.copy()
+        rows, cols = w.shape
+        size = self.cluster_size
+        pad = (-cols) % size
+        if pad:
+            w = np.concatenate([w, np.zeros((rows, pad))], axis=1)
+        clusters = w.reshape(rows, -1, size)
+
+        magnitude = np.abs(clusters)
+        outlier = magnitude.max(-1) > self.outlier_ratio * magnitude.min(-1)
+        if self.harmonize and outlier.shape[1] >= 2:
+            # Pair constraint: a pair is outlier-coded iff either member is.
+            even = outlier.shape[1] - (outlier.shape[1] % 2)
+            paired = outlier[:, :even].reshape(rows, -1, 2).any(axis=2)
+            outlier[:, :even] = np.repeat(paired, 2, axis=1)
+
+        # Budget-preserving generalisation of the paper's scheme: in an
+        # outlier cluster the TOP-2 magnitudes are protected, the smallest
+        # is sacrificed, and any middle values stay on the 2-bit grid —
+        # for size 3 this reduces exactly to the paper's (0/3/3) layouts.
+        order = np.argsort(magnitude, axis=-1)
+        protected_count = min(2, size - 1)
+        sacrifice = np.zeros_like(clusters, dtype=bool)
+        protected = np.zeros_like(clusters, dtype=bool)
+        rows_idx = np.arange(rows)[:, None]
+        cl_idx = np.arange(clusters.shape[1])[None, :]
+        sacrifice[rows_idx, cl_idx, order[..., 0]] = True
+        for rank in range(protected_count):
+            protected[rows_idx, cl_idx, order[..., -1 - rank]] = True
+
+        out_mask = outlier[:, :, None]
+        is_protected = out_mask & protected
+        is_sacrificed = out_mask & sacrifice
+
+        if self.protect_bits == 16:
+            # FP16 passthrough: the channel grid only needs to cover the
+            # values that are NOT stored exactly.
+            covered = np.where(is_protected, 0.0, magnitude)
+            max_abs = covered.reshape(rows, -1).max(axis=1)
+            scales = np.where(max_abs > 0, max_abs, 1.0).reshape(rows, 1, 1)
+            codes = round_half_away(clusters / scales)
+            rec_protected = clusters.copy()
+            rec_other = np.clip(codes, -1, 1) * scales
+        else:
+            qmax = 2 ** (self.protect_bits - 1) - 1
+            has_outlier = outlier.any(axis=1)
+            max_abs = magnitude.reshape(rows, -1).max(axis=1)
+            qmax_channel = np.where(has_outlier, float(qmax), 1.0)
+            scales = np.where(max_abs > 0, max_abs / qmax_channel, 1.0)
+            scales = scales.reshape(rows, 1, 1)
+            codes = round_half_away(clusters / scales)
+            rec_protected = np.clip(codes, -qmax, qmax) * scales
+            rec_other = np.clip(codes, -1, 1) * scales
+
+        reconstructed = np.where(
+            is_sacrificed, 0.0,
+            np.where(is_protected, rec_protected, rec_other))
+
+        dequantized = reconstructed.reshape(rows, -1)
+        if pad:
+            dequantized = dequantized[:, :-pad]
+        if transposed:
+            dequantized = dequantized.T
+
+        record = self._record(weight, outlier, rows, clusters.shape[1],
+                              protected_count)
+        return dequantized.astype(np.float32), record
+
+    def _record(self, weight: np.ndarray, outlier: np.ndarray,
+                channels: int, num_clusters: int,
+                protected_count: int) -> QuantRecord:
+        size = self.cluster_size
+        outlier_clusters = int(outlier.sum())
+        normal_clusters = channels * num_clusters - outlier_clusters
+        normal_bits = 2.0 * size
+        middle = size - 1 - protected_count  # 2-bit positions in outliers
+        if self.protect_bits == 16:
+            outlier_bits = 16.0 * protected_count + 2.0 * middle
+        else:
+            outlier_bits = (float(self.protect_bits) * protected_count
+                            + 2.0 * middle)
+        payload = normal_clusters * normal_bits + outlier_clusters * outlier_bits
+        # Index: 2 bits per cluster pair (as in the paper's layout) plus
+        # position-of-zero information for larger clusters.
+        index_bits_per_cluster = 1.0 if size == 3 else np.ceil(np.log2(size + 1)) / 2 + 0.5
+        index = channels * num_clusters * index_bits_per_cluster
+        scales_bits = 16.0 * channels
+        total_weights = weight.size
+        return QuantRecord(
+            method=self.name,
+            bits_payload=payload / total_weights,
+            bits_metadata=(index + scales_bits) / total_weights,
+            weight_shape=weight.shape,
+            detail={"cluster_size": size,
+                    "outlier_ratio": self.outlier_ratio,
+                    "protect_bits": self.protect_bits,
+                    "harmonize": self.harmonize,
+                    "outlier_cluster_ratio":
+                        outlier_clusters / max(1, channels * num_clusters)},
+        )

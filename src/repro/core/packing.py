@@ -1,0 +1,164 @@
+"""Byte-exact packed memory format (paper Fig. 4 step 5).
+
+Every cluster occupies exactly 6 data bits regardless of scheme:
+
+* scheme ``00``: three 2-bit sign-magnitude fields
+  ``[s0 m0 s1 m1 s2 m2]`` with magnitudes in {0, 1};
+* schemes ``01/10/11``: two 3-bit sign-magnitude fields for the surviving
+  positions (in ascending position order)
+  ``[sa ma1 ma0 sb mb1 mb0]`` with magnitudes in {0..3}.
+
+Rows are padded to groups of eight clusters; each group is stored as one
+index byte (four 2-bit pair indices) followed by six data bytes — the
+paper's aligned layout of 7 bytes per 24 weights (2.333 bits/weight),
+plus one FP16 scale per channel.
+
+``pack_matrix`` / ``unpack_matrix`` round-trip exactly (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Surviving positions (ascending) for outlier schemes indexed by the
+#: zeroed position: zero pos 0 -> keep (1, 2), 1 -> (0, 2), 2 -> (0, 1).
+_KEEP_A = np.array([1, 0, 0])
+_KEEP_B = np.array([2, 2, 1])
+
+CLUSTERS_PER_GROUP = 8
+GROUP_DATA_BYTES = 6
+GROUP_BYTES = 1 + GROUP_DATA_BYTES  # index byte + data bytes
+
+
+@dataclass
+class PackedMatrix:
+    """A FineQ-packed weight matrix."""
+
+    shape: tuple[int, int]           # original (rows, cols)
+    num_clusters: int                # clusters per row before group padding
+    scales: np.ndarray               # (rows,) float16 channel scales
+    payload: np.ndarray              # (rows, groups * GROUP_BYTES) uint8
+
+    @property
+    def total_bytes(self) -> int:
+        """Stored bytes: payload plus FP16 scales."""
+        return self.payload.size + 2 * self.shape[0]
+
+    @property
+    def bits_per_weight(self) -> float:
+        return 8.0 * self.total_bytes / (self.shape[0] * self.shape[1])
+
+
+def _cluster_bits(codes: np.ndarray, schemes: np.ndarray) -> np.ndarray:
+    """Encode ``(n, 3)`` codes + ``(n,)`` schemes into ``(n, 6)`` bits."""
+    signs = (codes < 0).astype(np.uint8)
+    mags = np.abs(codes).astype(np.uint8)
+
+    # Normal layout: [s0 m0 s1 m1 s2 m2].
+    normal = np.empty((codes.shape[0], 6), dtype=np.uint8)
+    normal[:, 0::2] = signs
+    normal[:, 1::2] = mags
+
+    # Outlier layout: two 3-bit fields for surviving positions.
+    zero_pos = np.clip(schemes - 1, 0, 2)
+    pos_a = _KEEP_A[zero_pos][:, None]
+    pos_b = _KEEP_B[zero_pos][:, None]
+    sign_a = np.take_along_axis(signs, pos_a, axis=1)[:, 0]
+    mag_a = np.take_along_axis(mags, pos_a, axis=1)[:, 0]
+    sign_b = np.take_along_axis(signs, pos_b, axis=1)[:, 0]
+    mag_b = np.take_along_axis(mags, pos_b, axis=1)[:, 0]
+    outlier = np.stack([sign_a, (mag_a >> 1) & 1, mag_a & 1,
+                        sign_b, (mag_b >> 1) & 1, mag_b & 1], axis=1)
+
+    is_outlier = (schemes > 0)[:, None]
+    return np.where(is_outlier, outlier, normal).astype(np.uint8)
+
+
+def _bits_to_clusters(bits: np.ndarray, schemes: np.ndarray) -> np.ndarray:
+    """Decode ``(n, 6)`` bits + schemes back to ``(n, 3)`` integer codes."""
+    n = bits.shape[0]
+    codes = np.zeros((n, 3), dtype=np.int64)
+
+    normal_mags = bits[:, 1::2].astype(np.int64)
+    normal_signs = bits[:, 0::2].astype(np.int64)
+    normal = np.where(normal_signs == 1, -normal_mags, normal_mags)
+
+    mag_a = (bits[:, 1].astype(np.int64) << 1) | bits[:, 2]
+    mag_b = (bits[:, 4].astype(np.int64) << 1) | bits[:, 5]
+    val_a = np.where(bits[:, 0] == 1, -mag_a, mag_a)
+    val_b = np.where(bits[:, 3] == 1, -mag_b, mag_b)
+
+    zero_pos = np.clip(schemes - 1, 0, 2)
+    outlier = np.zeros((n, 3), dtype=np.int64)
+    rows = np.arange(n)
+    outlier[rows, _KEEP_A[zero_pos]] = val_a
+    outlier[rows, _KEEP_B[zero_pos]] = val_b
+
+    is_outlier = (schemes > 0)[:, None]
+    return np.where(is_outlier, outlier, normal)
+
+
+def pack_matrix(codes: np.ndarray, schemes: np.ndarray, scales: np.ndarray,
+                shape: tuple[int, int]) -> PackedMatrix:
+    """Pack quantization artifacts into the aligned byte format.
+
+    ``codes``: ``(rows, clusters, 3)``; ``schemes``: ``(rows, clusters)``
+    with harmonized pairs; ``scales``: ``(rows,)``; ``shape`` is the
+    original matrix shape (for unpadding on decode).
+    """
+    rows, num_clusters, _ = codes.shape
+    pad_clusters = (-num_clusters) % CLUSTERS_PER_GROUP
+    if pad_clusters:
+        codes = np.concatenate(
+            [codes, np.zeros((rows, pad_clusters, 3), dtype=codes.dtype)], axis=1)
+        schemes = np.concatenate(
+            [schemes, np.zeros((rows, pad_clusters), dtype=schemes.dtype)], axis=1)
+    padded = codes.shape[1]
+    groups = padded // CLUSTERS_PER_GROUP
+
+    # Data bytes: 8 clusters x 6 bits -> 6 bytes per group.
+    bits = _cluster_bits(codes.reshape(-1, 3), schemes.reshape(-1))
+    data_bytes = np.packbits(bits.reshape(rows, padded * 6), axis=1)
+    data_bytes = data_bytes.reshape(rows, groups, GROUP_DATA_BYTES)
+
+    # Index bytes: four 2-bit pair indices per group of eight clusters.
+    pair_schemes = schemes.reshape(rows, -1, 2)[:, :, 0]  # harmonized pairs
+    pair_bits = np.stack([(pair_schemes >> 1) & 1, pair_schemes & 1], axis=-1)
+    index_bytes = np.packbits(
+        pair_bits.reshape(rows, padded // 2 * 2).astype(np.uint8), axis=1)
+    index_bytes = index_bytes.reshape(rows, groups, 1)
+
+    payload = np.concatenate([index_bytes, data_bytes], axis=2)
+    return PackedMatrix(shape=tuple(shape), num_clusters=num_clusters,
+                        scales=np.asarray(scales, dtype=np.float16),
+                        payload=payload.reshape(rows, -1))
+
+
+def unpack_matrix(packed: PackedMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_matrix`.
+
+    Returns ``(codes, schemes, dequantized)`` where ``dequantized`` has
+    the original matrix shape.
+    """
+    rows, cols = packed.shape
+    payload = packed.payload.reshape(rows, -1, GROUP_BYTES)
+    groups = payload.shape[1]
+    padded = groups * CLUSTERS_PER_GROUP
+
+    index_bytes = payload[:, :, 0]
+    pair_bits = np.unpackbits(index_bytes.reshape(rows, -1), axis=1)
+    pair_schemes = ((pair_bits[:, 0::2].astype(np.int64) << 1)
+                    | pair_bits[:, 1::2])[:, :padded // 2]
+    schemes = np.repeat(pair_schemes, 2, axis=1)
+
+    data_bytes = payload[:, :, 1:].reshape(rows, groups * GROUP_DATA_BYTES)
+    bits = np.unpackbits(data_bytes, axis=1).reshape(-1, 6)
+    codes = _bits_to_clusters(bits, schemes.reshape(-1)).reshape(rows, padded, 3)
+
+    codes = codes[:, :packed.num_clusters]
+    schemes = schemes[:, :packed.num_clusters]
+    scales = packed.scales.astype(np.float64).reshape(rows, 1, 1)
+    dequantized = (codes * scales).reshape(rows, -1)[:, :cols].astype(np.float32)
+    return codes, schemes, dequantized

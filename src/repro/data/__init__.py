@@ -1,0 +1,19 @@
+"""Synthetic evaluation corpora and tokenization.
+
+The paper evaluates perplexity on WikiText2 and C4.  Offline, we generate
+two deterministic English-like corpora with deliberately different
+statistics (see DESIGN.md, substitution table):
+
+* ``wikitext-sim`` — clean, encyclopedic, templated prose (low entropy);
+* ``c4-sim`` — noisy web-crawl style text with boilerplate, URLs and
+  fragments (higher entropy).
+"""
+
+from repro.data.corpus import generate_corpus, CORPUS_NAMES, wikitext_sim, c4_sim
+from repro.data.tokenizer import WordTokenizer
+from repro.data.loader import BatchLoader, token_stream, split_stream
+
+__all__ = [
+    "generate_corpus", "CORPUS_NAMES", "wikitext_sim", "c4_sim",
+    "WordTokenizer", "BatchLoader", "token_stream", "split_stream",
+]

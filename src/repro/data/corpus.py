@@ -1,0 +1,103 @@
+"""Deterministic synthetic corpora standing in for WikiText2 and C4.
+
+Both generators emit whitespace-separated lowercase tokens (punctuation is
+its own token, WikiText-style).  They are deterministic in ``(name, seed,
+num_sentences)`` so experiments are exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import vocab as V
+
+CORPUS_NAMES = ("wikitext-sim", "c4-sim")
+
+
+def _wiki_sentence(rng: np.random.Generator) -> list[str]:
+    """One encyclopedic sentence from a small template grammar."""
+    kind = rng.integers(4)
+    adj = V.zipf_choice(rng, V.ADJECTIVES, 2)
+    noun = V.zipf_choice(rng, V.NOUNS, 3)
+    prep = V.PREPOSITIONS[rng.integers(len(V.PREPOSITIONS))]
+    year = str(int(1500 + rng.integers(520)))
+    name = V.proper_noun(rng)
+    if kind == 0:
+        verb = V.zipf_choice(rng, V.VERBS_PRESENT, 1)[0]
+        return [name, verb, "a", adj[0], noun[0], prep, "the",
+                adj[1], noun[1], "of", V.proper_noun(rng), "."]
+    if kind == 1:
+        verb = V.zipf_choice(rng, V.VERBS_PAST, 1)[0]
+        return ["the", noun[0], "of", name, verb,
+                V.ADVERBS[rng.integers(len(V.ADVERBS))], "in", year, "."]
+    if kind == 2:
+        verb = V.zipf_choice(rng, V.VERBS_PAST, 1)[0]
+        return ["in", year, ",", "the", adj[0], noun[0], verb, "and",
+                "the", noun[1], verb2(rng), prep, "the", noun[2], "."]
+    verb = V.zipf_choice(rng, V.VERBS_PRESENT, 1)[0]
+    return ["it", verb, "the", adj[0], noun[0], ",",
+            "which", V.zipf_choice(rng, V.VERBS_PAST, 1)[0],
+            prep, "the", noun[1], "."]
+
+
+def verb2(rng: np.random.Generator) -> str:
+    return V.zipf_choice(rng, V.VERBS_PAST, 1)[0]
+
+
+def _wiki_heading(rng: np.random.Generator) -> list[str]:
+    noun = V.zipf_choice(rng, V.NOUNS, 1)[0]
+    return ["=", "=", noun, "=", "="]
+
+
+def wikitext_sim(num_sentences: int, seed: int = 0) -> list[str]:
+    """Clean encyclopedic token stream (WikiText2 stand-in)."""
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x11]))
+    tokens: list[str] = []
+    for i in range(num_sentences):
+        if i % 24 == 0:
+            tokens.extend(_wiki_heading(rng))
+        tokens.extend(_wiki_sentence(rng))
+    return tokens
+
+
+def _c4_sentence(rng: np.random.Generator) -> list[str]:
+    """One noisy web-style sentence."""
+    kind = rng.integers(5)
+    noun = V.zipf_choice(rng, V.NOUNS, 2)
+    web = V.zipf_choice(rng, V.WEB_PHRASES, 3, exponent=0.9)
+    adj = V.zipf_choice(rng, V.ADJECTIVES, 1)[0]
+    if kind == 0:
+        return [web[0], web[1], "to", web[2], "our", noun[0], "!"]
+    if kind == 1:
+        return ["posted", "by", V.proper_noun(rng), "on",
+                str(int(1 + rng.integers(12))), "/",
+                str(int(1 + rng.integers(28))), ":",
+                "great", noun[0], ",", "really", adj, "."]
+    if kind == 2:
+        verb = V.zipf_choice(rng, V.VERBS_PRESENT, 1)[0]
+        return ["our", adj, noun[0], verb, V.WEB_PHRASES[rng.integers(len(V.WEB_PHRASES))],
+                "for", "all", noun[1], "."]
+    if kind == 3:
+        return ["www", ".", V.proper_noun(rng), ".", "com", "/",
+                web[0], "?", web[1], "=", str(int(rng.integers(100))), "."]
+    verb = V.zipf_choice(rng, V.VERBS_PAST, 1)[0]
+    return ["i", verb, "the", noun[0], "and", "it", "was",
+            adj, ",", web[0], web[1], "."]
+
+
+def c4_sim(num_sentences: int, seed: int = 0) -> list[str]:
+    """Noisy web-crawl token stream (C4 stand-in)."""
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0xC4]))
+    tokens: list[str] = []
+    for _ in range(num_sentences):
+        tokens.extend(_c4_sentence(rng))
+    return tokens
+
+
+def generate_corpus(name: str, num_sentences: int, seed: int = 0) -> list[str]:
+    """Generate a corpus by name (``wikitext-sim`` or ``c4-sim``)."""
+    if name == "wikitext-sim":
+        return wikitext_sim(num_sentences, seed=seed)
+    if name == "c4-sim":
+        return c4_sim(num_sentences, seed=seed)
+    raise ValueError(f"unknown corpus {name!r}; expected one of {CORPUS_NAMES}")

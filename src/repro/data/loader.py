@@ -1,0 +1,64 @@
+"""Token-stream batching utilities for training and evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def token_stream(tokens: np.ndarray) -> np.ndarray:
+    """Validate and return a 1-D int64 token stream."""
+    stream = np.asarray(tokens, dtype=np.int64).reshape(-1)
+    if stream.size == 0:
+        raise ValueError("empty token stream")
+    return stream
+
+
+def split_stream(stream: np.ndarray, val_fraction: float = 0.1) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic train/validation split of a token stream."""
+    stream = token_stream(stream)
+    cut = int(len(stream) * (1.0 - val_fraction))
+    if cut == 0 or cut == len(stream):
+        raise ValueError("val_fraction leaves an empty split")
+    return stream[:cut], stream[cut:]
+
+
+class BatchLoader:
+    """Yields ``(inputs, targets)`` windows from a token stream.
+
+    Windows are length ``seq_len`` with next-token targets; window start
+    offsets are shuffled deterministically per epoch.
+    """
+
+    def __init__(self, stream: np.ndarray, batch_size: int, seq_len: int,
+                 seed: int = 0):
+        self.stream = token_stream(stream)
+        if len(self.stream) < seq_len + 1:
+            raise ValueError(
+                f"stream of {len(self.stream)} tokens too short for seq_len={seq_len}")
+        self.batch_size = batch_size
+        self.seq_len = seq_len
+        self.seed = seed
+        self._starts = np.arange(0, len(self.stream) - seq_len - 1, seq_len)
+
+    @property
+    def batches_per_epoch(self) -> int:
+        return max(1, len(self._starts) // self.batch_size)
+
+    def epoch(self, epoch_index: int):
+        """Iterate one epoch of shuffled ``(inputs, targets)`` batches."""
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, epoch_index]))
+        order = rng.permutation(self._starts)
+        for i in range(self.batches_per_epoch):
+            starts = order[i * self.batch_size:(i + 1) * self.batch_size]
+            if len(starts) == 0:
+                return
+            idx = starts[:, None] + np.arange(self.seq_len + 1)[None, :]
+            window = self.stream[idx]
+            yield window[:, :-1], window[:, 1:]
+
+    def forever(self):
+        """Endless batch iterator cycling through reshuffled epochs."""
+        epoch_index = 0
+        while True:
+            yield from self.epoch(epoch_index)
+            epoch_index += 1

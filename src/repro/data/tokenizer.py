@@ -1,0 +1,56 @@
+"""Word-level tokenizer with a fixed special-token header."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+import numpy as np
+
+PAD, UNK, BOS, EOS = "<pad>", "<unk>", "<bos>", "<eos>"
+SPECIALS = (PAD, UNK, BOS, EOS)
+
+
+class WordTokenizer:
+    """Maps whitespace tokens to integer ids.
+
+    Built from one or more corpora; the most frequent ``vocab_size - 4``
+    words are kept, everything else maps to ``<unk>``.
+    """
+
+    def __init__(self, vocab: list[str]):
+        if list(vocab[:4]) != list(SPECIALS):
+            raise ValueError("vocabulary must start with the special tokens")
+        self.vocab = list(vocab)
+        self._ids = {word: i for i, word in enumerate(self.vocab)}
+
+    @classmethod
+    def train(cls, corpora: Iterable[list[str]], vocab_size: int) -> "WordTokenizer":
+        counts: Counter[str] = Counter()
+        for tokens in corpora:
+            counts.update(tokens)
+        budget = vocab_size - len(SPECIALS)
+        # Sort by (-count, word) for determinism across runs.
+        kept = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:budget]
+        return cls(list(SPECIALS) + [word for word, _ in kept])
+
+    def __len__(self) -> int:
+        return len(self.vocab)
+
+    @property
+    def unk_id(self) -> int:
+        return self._ids[UNK]
+
+    def encode(self, tokens: list[str]) -> np.ndarray:
+        unk = self.unk_id
+        return np.asarray([self._ids.get(t, unk) for t in tokens], dtype=np.int64)
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        return [self.vocab[int(i)] for i in ids]
+
+    def coverage(self, tokens: list[str]) -> float:
+        """Fraction of tokens that are in-vocabulary."""
+        if not tokens:
+            return 1.0
+        known = sum(1 for t in tokens if t in self._ids)
+        return known / len(tokens)

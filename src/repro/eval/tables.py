@@ -1,0 +1,40 @@
+"""Paper-style table formatting for experiment outputs."""
+
+from __future__ import annotations
+
+
+def format_number(value: float) -> str:
+    """Paper-style numeric formatting: scientific for huge perplexities."""
+    if value >= 1e4:
+        return f"{value:.1E}".replace("E+0", "E+")
+    return f"{value:.2f}"
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width console table."""
+    cells = [[_stringify(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown(headers: list[str], rows: list[list]) -> str:
+    """GitHub-flavoured markdown table (used by EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _stringify(cell) -> str:
+    if isinstance(cell, float):
+        return format_number(cell)
+    return str(cell)

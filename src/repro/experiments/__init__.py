@@ -1,0 +1,11 @@
+"""One module per paper table/figure (see DESIGN.md experiment index).
+
+Every module exposes ``run(fast=...)`` returning an
+:class:`~repro.experiments.common.ExperimentResult`; the benchmarks in
+``benchmarks/`` regenerate each artifact and assert the paper's
+qualitative shape.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,54 @@
+"""Design-space ablations for the choices DESIGN.md calls out.
+
+Sweeps, on the 7B stand-in:
+
+* cluster size {2, 3, 6} — the paper's granularity argument;
+* outlier threshold {2x, 4x, 8x} — the detection rule;
+* outlier protection {3-bit, FP16} — the paper's Observation II
+  (3 bits suffice; FP16 wastes memory);
+* pair harmonization on/off — accuracy cost of the aligned index format.
+"""
+
+from __future__ import annotations
+
+from repro.core.generalized import GeneralizedFineQ
+from repro.eval.harness import clone_model
+from repro.eval.perplexity import dataset_perplexity
+from repro.experiments.common import ExperimentResult
+from repro.models.zoo import load_model
+
+
+VARIANTS: list[tuple[str, dict]] = [
+    ("cluster=2", {"cluster_size": 2}),
+    ("cluster=3 (paper)", {"cluster_size": 3}),
+    ("cluster=6", {"cluster_size": 6}),
+    ("threshold=2x", {"outlier_ratio": 2.0}),
+    ("threshold=4x (paper)", {"outlier_ratio": 4.0}),
+    ("threshold=8x", {"outlier_ratio": 8.0}),
+    ("protect=fp16", {"protect_bits": 16}),
+    ("protect=3b (paper)", {"protect_bits": 3}),
+    ("no harmonization", {"harmonize": False}),
+]
+
+
+def run(model_name: str = "llama-sim-7b", seq_len: int = 256,
+        fast: bool = False) -> ExperimentResult:
+    """Sweep GeneralizedFineQ variants; report bits and perplexity."""
+    zoo_model = load_model(model_name)
+    variants = VARIANTS[:4] if fast else VARIANTS
+    max_tokens = 6_000 if fast else 12_000
+    rows = []
+    for label, kwargs in variants:
+        work = clone_model(zoo_model.model)
+        quantizer = GeneralizedFineQ(**kwargs)
+        report = quantizer.quantize_model(work)
+        ppl = dataset_perplexity(work, zoo_model.tokenizer, "wikitext-sim",
+                                 seq_len, max_tokens=max_tokens)
+        rows.append([label, round(report.avg_bits, 3), ppl])
+    return ExperimentResult(
+        name="ablations",
+        title=f"FineQ design-space ablations ({model_name}, wikitext-sim)",
+        headers=["Variant", "Avg bits", "Wiki PPL (sim)"],
+        rows=rows,
+        meta={"model": model_name, "seq_len": seq_len},
+    )

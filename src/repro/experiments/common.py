@@ -1,0 +1,35 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.tables import format_table, format_markdown
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular output of one experiment plus free-form metadata."""
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def to_markdown(self) -> str:
+        return format_markdown(self.headers, self.rows)
+
+    def column(self, header: str) -> list:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_by(self, header: str, value) -> list:
+        index = self.headers.index(header)
+        for row in self.rows:
+            if row[index] == value:
+                return row
+        raise KeyError(f"no row with {header}={value!r}")

@@ -1,0 +1,62 @@
+"""Fig. 1: perplexity vs bit-width on the LLaMA-2-7B / C4 stand-in.
+
+RTN and GPTQ are swept over {16, 8, 4, 3, 2} bits; PB-LLM (2.7b),
+OWQ (2.25b) and FineQ (2.33b) contribute their fixed-budget points.
+The paper's qualitative shape: all single-precision methods track FP16
+down to 4-3 bits, then explode at 2 bits, while FineQ stays within a
+small factor of FP16.
+"""
+
+from __future__ import annotations
+
+from repro.eval.harness import quantized_perplexity, default_calibration_batches
+from repro.experiments.common import ExperimentResult
+from repro.models.zoo import load_model
+
+BIT_WIDTHS = (8, 4, 3, 2)
+DATASET = ("c4-sim",)
+
+#: Paper Fig. 1 reference points (C4 perplexity, LLaMA-2-7B).
+PAPER_FIG1 = {
+    ("fp16", 16): 8.80, ("rtn", 2): 7.4e5, ("gptq", 2): 863.87,
+    ("pb-llm", 2.7): 58.57, ("owq", 2.25): 39.45, ("fineq", 2.33): 14.95,
+}
+
+
+def run(model_name: str = "llama-sim-7b", seq_len: int = 256,
+        fast: bool = False) -> ExperimentResult:
+    """Regenerate the Fig. 1 bit-width sweep."""
+    zoo_model = load_model(model_name)
+    model, tokenizer = zoo_model.model, zoo_model.tokenizer
+    max_tokens = 8_000 if fast else 16_000
+    bit_widths = (4, 2) if fast else BIT_WIDTHS
+    calibration = default_calibration_batches(model, tokenizer)
+
+    rows = []
+
+    def add(method: str, bits_label: float, kwargs: dict | None):
+        result, _ = quantized_perplexity(
+            model, tokenizer, method, DATASET, seq_len,
+            method_kwargs=kwargs, calibration=calibration,
+            max_tokens=max_tokens)
+        paper = PAPER_FIG1.get((method, bits_label), "-")
+        rows.append([method, bits_label, round(result.avg_bits, 2),
+                     result.perplexity["c4-sim"], paper])
+
+    add("fp16", 16, None)
+    for bits in bit_widths:
+        add("rtn", bits, {"bits": bits})
+        add("gptq", bits, {"bits": bits})
+    if not fast:
+        add("pb-llm", 2.7, None)
+        add("owq", 2.25, None)
+    add("fineq", 2.33, None)
+
+    return ExperimentResult(
+        name="fig1",
+        title=f"Fig. 1: perplexity vs bit-width ({model_name}, c4-sim)",
+        headers=["Method", "Nominal bits", "Avg bits", "PPL (sim)",
+                 "Paper PPL"],
+        rows=rows,
+        meta={"model": model_name, "seq_len": seq_len},
+    )

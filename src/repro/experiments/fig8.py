@@ -1,0 +1,23 @@
+"""Fig. 8: power breakdown of the FineQ PE array."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.hw.area_power import AreaPowerModel, FIG8_POWER_SPLIT
+
+
+def run(rows: int = 64, cols: int = 64, fast: bool = False) -> ExperimentResult:
+    """Regenerate the Fig. 8 power pie from the component model."""
+    split = AreaPowerModel().fineq_power_breakdown(rows, cols)
+    labels = {"acc": "ACC", "pe_array": "PE Array",
+              "temporal_encoder": "Temporal Encoder"}
+    result = ExperimentResult(
+        name="fig8",
+        title="Fig. 8: FineQ PE-array power breakdown",
+        headers=["Component", "Power share (%)", "Paper (%)"],
+        rows=[[labels[key], round(100 * split[key], 1),
+               round(100 * FIG8_POWER_SPLIT[key], 1)]
+              for key in ("acc", "pe_array", "temporal_encoder")],
+        meta={"split": split, "paper": FIG8_POWER_SPLIT},
+    )
+    return result

@@ -1,0 +1,45 @@
+"""Fig. 9: normalised energy efficiency over the baseline accelerator.
+
+The paper sweeps sequence lengths per model under the same on-chip buffer
+size and reports FineQ's energy efficiency normalised to the MAC systolic
+baseline: 1.760 / 1.815 / 1.787 per model, "up to 1.79x average".  Our
+sequence axis is scaled 8x with the models (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.hw.energy import EnergyModel, energy_efficiency
+from repro.models.configs import ZOO_CONFIGS
+
+PAPER_MEANS = {"llama-sim-3b": 1.760, "llama-sim-7b": 1.815,
+               "llama-sim-13b": 1.787}
+SEQ_LENGTHS = (32, 64, 128, 256)
+
+
+def run(seq_lengths: tuple[int, ...] = SEQ_LENGTHS,
+        energy_model: EnergyModel | None = None,
+        fast: bool = False) -> ExperimentResult:
+    """Energy-efficiency sweep across the model zoo."""
+    energy_model = energy_model or EnergyModel()
+    headers = ["Model"] + [f"seq {s}" for s in seq_lengths] + ["Mean", "Paper"]
+    rows = []
+    all_values = []
+    for name, config in ZOO_CONFIGS.items():
+        values = [energy_efficiency(config, s, energy_model)
+                  for s in seq_lengths]
+        all_values.extend(values)
+        rows.append([name] + [round(v, 3) for v in values]
+                    + [round(float(np.mean(values)), 3), PAPER_MEANS[name]])
+    result = ExperimentResult(
+        name="fig9",
+        title="Fig. 9: normalised energy efficiency vs baseline accelerator",
+        headers=headers,
+        rows=rows,
+        meta={"overall_mean": float(np.mean(all_values)),
+              "paper_overall": 1.79,
+              "seq_lengths": list(seq_lengths)},
+    )
+    return result

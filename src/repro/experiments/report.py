@@ -1,0 +1,93 @@
+"""Generate EXPERIMENTS.md: paper-vs-measured for every table/figure.
+
+Run as a module (uses the cached zoo; first run trains it):
+
+    python -m repro.experiments.report [output-path]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments import (table1, table2, table3, fig1, fig2b, fig3b,
+                               fig8, fig9, ablations)
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Regenerated with `python -m repro.experiments.report` (also covered, with
+assertions, by `pytest benchmarks/ --benchmark-only`).  All accuracy
+numbers come from the simulation substrate described in DESIGN.md:
+scaled LLaMA-style models trained on synthetic corpora with injected
+channel outliers; "Paper" columns quote the original tables for
+side-by-side shape comparison — absolute values are not expected to
+match across substrates, orderings and factors are.
+
+## Summary of shape agreement
+
+| Artifact | Paper claim | Reproduced? |
+|---|---|---|
+| Fig. 1 | single-precision PPL explodes at 2 bits; FineQ stays near FP16 | yes — RTN/GPTQ cliff between 3 and 2 bits; FineQ within ~1.5x of FP16 |
+| Table I | FineQ best low-bit method at ~2.33 bits; Uniform/RTN catastrophic; GPTQ-2b bad; OWQ/PB-LLM mid | largely — orderings FineQ < GPTQ < OWQ-like methods < RTN < Uniform hold; see deviations |
+| Table II | FineQ robust across sequence lengths | yes — FineQ beats single-precision baselines at every length |
+| Table III | PE-array area -61.2 %, power -62.9 % | yes — exact (model calibrated to these numbers, then validated structurally) |
+| Fig. 8 | ACC 71.8 % / PE 25.9 % / encoder 2.3 % of array power | yes — exact |
+| Fig. 9 | energy efficiency up to 1.79x average | yes — zoo mean ~1.8x, per-model means 1.65-1.97x |
+| Fig. 2b | serving memory ~65 % weights / ~30 % KV / ~5 % other | yes — 66/29/5 at the scaled serving point |
+| Fig. 3b | ~0.3 % outliers, channel-concentrated; uniform quantization fine to 3 bits, collapses at 2 | yes — sub-percent outlier ratio, concentration 3x the uniform share, 3b->2b cliff |
+
+### Known deviations (scaled-substrate artifacts)
+
+* **PB-LLM is too strong here**: binarizing 90 % of the weights is far
+  less damaging to a small templated-text model than to a real LLM, and
+  the 10 % FP16 salient weights cover all injected outliers.  In the
+  paper PB-LLM trails OWQ; here it lands near FP16.
+* **GPTQ-2b is bad but not catastrophic**: with 128-512-column Hessians
+  and ample calibration, GPTQ's error compensation works much better
+  than at LLaMA scale (where the paper measures 256-5090 PPL).
+* **OWQ vs FineQ**: FineQ leads OWQ by 4-8x on the 3B/7B stand-ins; on
+  the 13B stand-in (trained longest, so weight decay has partially
+  washed out the injected outliers) every calibration/mixed method lands
+  within ~1.2x of FineQ and OWQ edges it slightly — the paper reports a
+  consistent ~2x FineQ lead.  The aggregate ordering (FineQ well ahead
+  of OWQ on average) reproduces.
+
+"""
+
+
+def build_report() -> str:
+    sections = [HEADER]
+
+    def add(title: str, result, note: str = ""):
+        sections.append(f"## {title}\n\n")
+        if note:
+            sections.append(note + "\n\n")
+        sections.append(result.to_markdown())
+        sections.append("\n\n")
+
+    add("Fig. 1 — perplexity vs bit-width (7B stand-in, C4-sim)", fig1.run())
+    add("Table I — perplexity across models and methods", table1.run(),
+        note="Sequence length 256 (scaled stand-in for the paper's 2048).")
+    add("Table II — sequence-length sensitivity (7B stand-in)", table2.run(),
+        note="Sim lengths {32, 128, 256} map to the paper's {32, 256, 1024}.")
+    add("Table III — accelerator area/power @ 45 nm, 400 MHz", table3.run())
+    add("Fig. 8 — FineQ PE-array power breakdown", fig8.run())
+    add("Fig. 9 — normalised energy efficiency", fig9.run())
+    add("Fig. 2(b) — serving memory layout", fig2b.run())
+    add("Fig. 3(b) — weight statistics and uniform-quantization cliff",
+        fig3b.run())
+    add("Design-space ablations (not in paper; design choices quantified)",
+        ablations.run())
+    return "".join(sections)
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    out = Path(argv[0]) if argv else Path(__file__).resolve().parents[3] / "EXPERIMENTS.md"
+    out.write_text(build_report())
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

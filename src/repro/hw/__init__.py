@@ -1,0 +1,40 @@
+"""FineQ accelerator model (paper Sec. IV).
+
+Functional components (bit-exact, cross-checked against integer matmul):
+
+* :mod:`repro.hw.temporal` — unary/temporal encoder with early termination;
+* :mod:`repro.hw.pe` — select-and-add PE and sign-aware ACC adder tree;
+* :mod:`repro.hw.array` — the temporal-coding PE array (Fig. 7);
+* :mod:`repro.hw.decoder` — cluster-format stream decoder (Fig. 6);
+* :mod:`repro.hw.systolic` — baseline MAC systolic array.
+
+Performance/cost models:
+
+* :mod:`repro.hw.cycle_model` — six-stage-pipeline cycle-level simulator;
+* :mod:`repro.hw.area_power` — 45 nm component model calibrated to the
+  paper's Table III;
+* :mod:`repro.hw.energy` — workload energy and the Fig. 9 efficiency
+  comparison;
+* :mod:`repro.hw.workloads` — GEMM traces of the simulation models.
+"""
+
+from repro.hw.temporal import TemporalEncoder, encode_magnitudes, decode_bitstream
+from repro.hw.pe import ProcessingElement, AccumulatorUnit
+from repro.hw.array import TemporalCodingArray, temporal_matmul
+from repro.hw.decoder import FineQStreamDecoder
+from repro.hw.systolic import BaselineSystolicArray
+from repro.hw.cycle_model import PipelineConfig, CycleReport, simulate_gemm
+from repro.hw.area_power import AreaPowerModel, TABLE3_REFERENCE
+from repro.hw.energy import EnergyModel, WorkloadEnergy, energy_efficiency
+from repro.hw.workloads import GEMMShape, model_gemms
+from repro.hw.codes import layer_code_magnitudes, model_code_magnitudes
+
+__all__ = [
+    "TemporalEncoder", "encode_magnitudes", "decode_bitstream",
+    "ProcessingElement", "AccumulatorUnit", "TemporalCodingArray",
+    "temporal_matmul", "FineQStreamDecoder", "BaselineSystolicArray",
+    "PipelineConfig", "CycleReport", "simulate_gemm", "AreaPowerModel",
+    "TABLE3_REFERENCE", "EnergyModel", "WorkloadEnergy",
+    "energy_efficiency", "GEMMShape", "model_gemms",
+    "layer_code_magnitudes", "model_code_magnitudes",
+]

@@ -1,0 +1,40 @@
+"""Extract exact FineQ code magnitudes from a model.
+
+The cycle/energy models accept per-GEMM ``(M, K)`` magnitude matrices for
+exact temporal-cycle accounting (instead of the outlier-ratio estimate).
+This module produces them by running the FineQ quantizer over a model's
+quantization surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.quantizer import FineQQuantizer
+from repro.nn.model import TransformerLM
+
+
+def layer_code_magnitudes(weight: np.ndarray,
+                          quantizer: FineQQuantizer | None = None) -> np.ndarray:
+    """``|code|`` matrix with the same ``(out, in)`` orientation as the weight."""
+    quantizer = quantizer or FineQQuantizer()
+    _, artifacts = quantizer.quantize_with_artifacts(weight)
+    codes = artifacts["codes"]           # (channels, clusters, 3)
+    channels = codes.shape[0]
+    flat = np.abs(codes).reshape(channels, -1)
+    if artifacts["channel_axis"] == "input":
+        flat = flat[:, :weight.shape[0]]  # strip cluster padding (out dim)
+        return flat.T                     # back to (out, in)
+    return flat[:, :weight.shape[1]]
+
+
+def model_code_magnitudes(model: TransformerLM) -> dict[str, np.ndarray]:
+    """Exact code magnitudes for every quantizable GEMM of ``model``.
+
+    Keys match :func:`repro.hw.workloads.model_gemms` names.
+    """
+    quantizer = FineQQuantizer()
+    result = {}
+    for name, layer in model.quantizable_linears():
+        result[name] = layer_code_magnitudes(layer.weight.data, quantizer)
+    return result

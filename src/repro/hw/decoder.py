@@ -1,0 +1,58 @@
+"""FineQ weight-stream decoder (paper Fig. 6).
+
+Consumes the aligned packed format of :mod:`repro.core.packing` — one
+index byte followed by six data bytes per group of eight clusters — and
+emits, for every cluster, three 3-bit sign-magnitude weights: 2-bit
+fields are zero-padded to 3 bits and the position zeroed by the encoding
+scheme is materialised as 0, exactly like the MUX network in the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.packing import (PackedMatrix, unpack_matrix,
+                                CLUSTERS_PER_GROUP, GROUP_BYTES)
+
+
+@dataclass
+class DecodeResult:
+    """Decoded weights plus decoder activity statistics."""
+
+    codes: np.ndarray       # (channels, clusters, 3) signed ints in [-3, 3]
+    schemes: np.ndarray     # (channels, clusters)
+    dequantized: np.ndarray
+    groups_decoded: int
+    bytes_consumed: int
+
+
+class FineQStreamDecoder:
+    """Bank of ``num_decoders`` cluster decoders.
+
+    Each decoder retires one cluster per cycle (a mux network has no
+    iteration), so a bank of 64 sustains 192 weights/cycle — comfortably
+    ahead of the 64 weights/cycle the PE array consumes, which is why the
+    pipeline model treats decode as a non-bottleneck stage.
+    """
+
+    def __init__(self, num_decoders: int = 64):
+        if num_decoders <= 0:
+            raise ValueError("num_decoders must be positive")
+        self.num_decoders = num_decoders
+
+    def decode(self, packed: PackedMatrix) -> DecodeResult:
+        codes, schemes, dequantized = unpack_matrix(packed)
+        groups = packed.payload.shape[1] // GROUP_BYTES * packed.payload.shape[0]
+        return DecodeResult(codes=codes, schemes=schemes,
+                            dequantized=dequantized,
+                            groups_decoded=groups,
+                            bytes_consumed=int(packed.payload.size))
+
+    def decode_cycles(self, packed: PackedMatrix) -> int:
+        """Cycles to decode a packed matrix through the decoder bank."""
+        rows = packed.payload.shape[0]
+        groups_per_row = packed.payload.shape[1] // GROUP_BYTES
+        total_clusters = rows * groups_per_row * CLUSTERS_PER_GROUP
+        return -(-total_clusters // self.num_decoders)

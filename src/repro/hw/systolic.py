@@ -1,0 +1,46 @@
+"""Baseline MAC systolic array (the paper's comparison accelerator).
+
+Same buffers, same input-stationary dataflow as the FineQ array, but each
+PE is a 16-bit multiply-accumulate unit, so one weight row is consumed
+per cycle regardless of weight values, and weights arrive from memory at
+full FP16 width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SystolicRunResult:
+    output: np.ndarray
+    cycles: int
+    macs: int
+
+
+class BaselineSystolicArray:
+    """Input-stationary ``rows x cols`` MAC array."""
+
+    def __init__(self, rows: int = 64, cols: int = 64):
+        self.rows = rows
+        self.cols = cols
+
+    def run(self, weights: np.ndarray, activations: np.ndarray
+            ) -> SystolicRunResult:
+        """Exact ``weights @ activations`` with cycle accounting."""
+        w = np.asarray(weights, dtype=np.float64)
+        x = np.asarray(activations, dtype=np.float64)
+        if w.shape[1] != x.shape[0]:
+            raise ValueError(f"shape mismatch: {w.shape} @ {x.shape}")
+        output = w @ x
+        cycles = self.compute_cycles(w.shape[0], w.shape[1], x.shape[1])
+        macs = w.shape[0] * w.shape[1] * x.shape[1]
+        return SystolicRunResult(output=output, cycles=cycles, macs=macs)
+
+    def compute_cycles(self, m: int, k: int, n: int) -> int:
+        """One cycle per weight row per (K, N) tile."""
+        k_tiles = -(-k // self.rows)
+        n_tiles = -(-n // self.cols)
+        return m * k_tiles * n_tiles

@@ -1,0 +1,68 @@
+"""GEMM workload extraction from the simulation models.
+
+The accelerator experiments (Table III context, Fig. 9) run the linear
+layers of the quantized models as GEMM traces: for a prefill of ``seq``
+tokens, every block contributes Q/K/V/O projections and the two FFN
+matmuls.  Embeddings and the LM head stay on the host in both designs
+(they are not quantized), matching the paper's quantization surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.model import ModelConfig
+
+
+@dataclass(frozen=True)
+class GEMMShape:
+    """One weight-stationary GEMM: ``(M, K) @ (K, N)``.
+
+    ``M`` = output channels, ``K`` = input channels, ``N`` = tokens.
+    """
+
+    name: str
+    m: int
+    k: int
+    n: int
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+    @property
+    def weight_count(self) -> int:
+        return self.m * self.k
+
+
+def block_gemms(config: ModelConfig, seq_len: int) -> list[GEMMShape]:
+    """GEMMs of a single transformer block at the given prefill length."""
+    d, ff = config.d_model, config.d_ff
+    # Names match TransformerLM.quantizable_linears so exact FineQ code
+    # magnitudes (repro.hw.codes) can be joined onto the trace.
+    return [
+        GEMMShape("attn.wq", d, d, seq_len),
+        GEMMShape("attn.wk", d, d, seq_len),
+        GEMMShape("attn.wv", d, d, seq_len),
+        GEMMShape("attn.wo", d, d, seq_len),
+        GEMMShape("ffn.up", ff, d, seq_len),
+        GEMMShape("ffn.down", d, ff, seq_len),
+    ]
+
+
+def model_gemms(config: ModelConfig, seq_len: int) -> list[GEMMShape]:
+    """All quantized GEMMs of a full forward pass (prefill)."""
+    gemms = []
+    for layer in range(config.num_layers):
+        for shape in block_gemms(config, seq_len):
+            gemms.append(GEMMShape(f"blocks.{layer}.{shape.name}",
+                                   shape.m, shape.k, shape.n))
+    return gemms
+
+
+def total_macs(config: ModelConfig, seq_len: int) -> int:
+    return sum(g.macs for g in model_gemms(config, seq_len))
+
+
+def total_weight_count(config: ModelConfig) -> int:
+    return sum(g.weight_count for g in model_gemms(config, seq_len=1))

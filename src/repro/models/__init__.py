@@ -1,0 +1,19 @@
+"""Simulation model zoo: scaled LLaMA-style models with LLM-like weights.
+
+``load_model`` trains (once, cached on disk) three scaled-down stand-ins
+for the paper's LLaMA-2 3B/7B/13B and then injects *function-preserving*
+channel outliers so the weight matrices exhibit the channel-concentrated
+outlier statistics the paper's Fig. 3(b) reports for real LLMs.
+"""
+
+from repro.models.configs import ZOO_CONFIGS, zoo_config, tiny_config
+from repro.models.outliers import (inject_outliers, pretrain_column_outliers,
+                                   OutlierSpec)
+from repro.models.stats import weight_stats, model_weight_stats
+from repro.models.zoo import load_model, build_tokenizer, ZooModel
+
+__all__ = [
+    "ZOO_CONFIGS", "zoo_config", "tiny_config", "inject_outliers",
+    "pretrain_column_outliers", "OutlierSpec", "weight_stats",
+    "model_weight_stats", "load_model", "build_tokenizer", "ZooModel",
+]

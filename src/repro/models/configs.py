@@ -1,0 +1,50 @@
+"""Model zoo configurations.
+
+The three entries are scaled-down stand-ins for the LLaMA-2 sizes the
+paper evaluates (3B/7B/13B).  Depth/width ratios follow the LLaMA family
+(wider and deeper as the size grows) so the relative FP16 perplexities
+reproduce the paper's ordering (13B < 7B < 3B).
+"""
+
+from __future__ import annotations
+
+from repro.nn.model import ModelConfig
+
+VOCAB_SIZE = 512
+MAX_SEQ_LEN = 512
+
+ZOO_CONFIGS: dict[str, ModelConfig] = {
+    "llama-sim-3b": ModelConfig(
+        name="llama-sim-3b", vocab_size=VOCAB_SIZE, d_model=96, num_layers=4,
+        num_heads=4, d_ff=384, max_seq_len=MAX_SEQ_LEN, seed=3),
+    "llama-sim-7b": ModelConfig(
+        name="llama-sim-7b", vocab_size=VOCAB_SIZE, d_model=128, num_layers=5,
+        num_heads=4, d_ff=512, max_seq_len=MAX_SEQ_LEN, seed=7),
+    "llama-sim-13b": ModelConfig(
+        name="llama-sim-13b", vocab_size=VOCAB_SIZE, d_model=160, num_layers=7,
+        num_heads=5, d_ff=640, max_seq_len=MAX_SEQ_LEN, seed=13),
+}
+
+#: Training steps per zoo entry (larger models train longer, as in scaling
+#: practice, which also yields the paper's FP16 quality ordering).
+ZOO_TRAIN_STEPS = {
+    "llama-sim-3b": 400,
+    "llama-sim-7b": 550,
+    "llama-sim-13b": 700,
+}
+
+
+def zoo_config(name: str) -> ModelConfig:
+    """Look up a zoo configuration by name."""
+    try:
+        return ZOO_CONFIGS[name]
+    except KeyError:
+        raise KeyError(f"unknown zoo model {name!r}; "
+                       f"available: {sorted(ZOO_CONFIGS)}") from None
+
+
+def tiny_config(vocab_size: int = 256, seed: int = 0) -> ModelConfig:
+    """A deliberately small config for fast unit tests."""
+    return ModelConfig(name="tiny", vocab_size=vocab_size, d_model=48,
+                       num_layers=2, num_heads=2, d_ff=96,
+                       max_seq_len=128, seed=seed)

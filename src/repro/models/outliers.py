@@ -1,0 +1,145 @@
+"""Injection of LLM-like weight outliers into the simulation models.
+
+Real LLM weight matrices mix two kinds of irregularity (paper Fig. 3b,
+Observation II): *channel-concentrated* outliers (specific input channels
+carry weights ~5-12x larger, correlated with how the network uses those
+features — they carry real loss) and *scattered within-channel spikes*
+(a few elements right around the paper's 4x cluster-detection threshold).
+Tiny models trained from scratch develop neither, so we create both:
+
+1. :func:`pretrain_column_outliers` amplifies a small fraction of input
+   columns of every quantizable linear **at initialisation**; training
+   then bakes them into the learned function, so they are loss-bearing
+   and fully visible to calibration-aware baselines (GPTQ, OWQ) — a pure
+   post-hoc reparameterisation would be loss-neutral and thus invisible
+   to them.
+2. :func:`inject_outliers` adds mild **post-training** spikes through
+   exact rescaling identities of the architecture (the FP16 function is
+   preserved bit-for-bit up to float rounding):
+
+   * **FFN** (``down(relu(up(x)))``): ``up.weight[h, :] *= a`` with
+     ``down.weight[:, h] /= a`` is exact because ReLU is positively
+     homogeneous (``a > 0``);
+   * **V/O**: ``wv.weight[c, :] *= a`` with ``wo.weight[:, c] /= a`` is
+     exact because attention mixes time steps, not value channels;
+   * **Q/K**: scaling a RoPE pair of rows ``(2i, 2i+1)`` of ``wq`` by
+     ``a`` and the same pair of ``wk`` by ``1/a`` preserves every
+     attention score (RoPE rotates within the pair; uniform pair scaling
+     commutes with rotation).
+
+Combined effect on the quantization surface: per-tensor grids are blown
+up by the channel variance; per-row grids are stretched by the column
+outliers they cross; FineQ's per-input-channel scales absorb the channel
+structure while its 3-element clusters protect the scattered spikes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.model import TransformerLM
+
+
+@dataclass(frozen=True)
+class OutlierSpec:
+    """Controls density and strength of the injected outliers.
+
+    Two mechanisms cooperate (see module docstring and DESIGN.md):
+
+    * **Pre-training column outliers** (:func:`pretrain_column_outliers`):
+      ``column_fraction`` of each linear's input columns is amplified by
+      log-uniform factors in ``column_range`` *at initialisation*, so
+      training bakes them into the function.  These are the
+      channel-concentrated, loss-bearing outliers of the paper's
+      Fig. 3(b) — calibration-aware baselines genuinely feel them.
+    * **Post-training spikes** (:func:`inject_outliers`):
+      ``spike_fraction`` of intermediate channels receives mild
+      (``spike_range``) function-preserving rescaling, creating scattered
+      within-channel spikes right around the 4x cluster-detection
+      threshold — the case FineQ's intra-cluster protection targets.
+    """
+
+    column_fraction: float = 0.02
+    column_range: tuple[float, float] = (6.0, 16.0)
+    spike_fraction: float = 0.02
+    spike_range: tuple[float, float] = (3.0, 6.0)
+    seed: int = 1234
+
+
+def _draw_scales(rng: np.random.Generator, count: int,
+                 scale_range: tuple[float, float]) -> np.ndarray:
+    low, high = scale_range
+    if not (0 < low <= high):
+        raise ValueError(f"invalid scale range {scale_range}")
+    return np.exp(rng.uniform(np.log(low), np.log(high), size=count)).astype(np.float32)
+
+
+def _pick(rng: np.random.Generator, count: int, fraction: float) -> np.ndarray:
+    k = max(1, int(round(count * fraction)))
+    return rng.choice(count, size=min(k, count), replace=False)
+
+
+def pretrain_column_outliers(model: TransformerLM,
+                             spec: OutlierSpec | None = None) -> dict:
+    """Amplify random input columns of every quantizable linear at init.
+
+    Called *before* training: the amplified columns become part of the
+    function the model learns, so — unlike any purely function-preserving
+    rescaling — they carry real loss and are visible to calibration-aware
+    methods (GPTQ's Hessian, OWQ's sensitivity ranking), exactly like the
+    input-channel-aligned outliers of real LLMs.
+    """
+    spec = spec or OutlierSpec()
+    rng = np.random.default_rng(np.random.SeedSequence([spec.seed, 0xC0]))
+    report: dict[str, dict] = {}
+    for name, layer in model.quantizable_linears():
+        cols = _pick(rng, layer.in_features, spec.column_fraction)
+        scales = _draw_scales(rng, len(cols), spec.column_range)
+        layer.weight.data[:, cols] *= scales[None, :]
+        report[name] = {"columns": cols, "scales": scales}
+    return report
+
+
+def inject_outliers(model: TransformerLM, spec: OutlierSpec | None = None) -> dict:
+    """Post-training, function-preserving within-channel spikes.
+
+    Amplifies a small fraction of intermediate channels by mild factors
+    (around the paper's 4x cluster-detection threshold) while applying
+    the exact inverse on the mathematically coupled weights, so model
+    outputs are bit-for-bit equivalent up to float rounding.  Returns a
+    report mapping layer names to affected channel indices.
+    """
+    spec = spec or OutlierSpec()
+    rng = np.random.default_rng(np.random.SeedSequence([spec.seed, 0x5B]))
+    report: dict[str, dict] = {}
+    num_pairs = model.config.d_model // 2
+    if (model.config.d_model // model.config.num_heads) % 2 != 0:
+        raise ValueError("RoPE head_dim must be even for pair-wise injection")
+
+    for i, block in enumerate(model.blocks):
+        # FFN: amplified hidden rows of `up` appear, in the per-input-
+        # channel view, as within-channel spikes; `down` columns shrink.
+        hidden = _pick(rng, block.ffn.up.out_features, spec.spike_fraction)
+        scales = _draw_scales(rng, len(hidden), spec.spike_range)
+        block.ffn.up.weight.data[hidden, :] *= scales[:, None]
+        block.ffn.down.weight.data[:, hidden] /= scales[None, :]
+        report[f"blocks.{i}.ffn.up"] = {"rows": hidden, "scales": scales}
+
+        # V/O: same identity through the value path.
+        channels = _pick(rng, block.attn.wv.out_features, spec.spike_fraction)
+        vo_scales = _draw_scales(rng, len(channels), spec.spike_range)
+        block.attn.wv.weight.data[channels, :] *= vo_scales[:, None]
+        block.attn.wo.weight.data[:, channels] /= vo_scales[None, :]
+        report[f"blocks.{i}.attn.wv"] = {"rows": channels, "scales": vo_scales}
+
+        # Q/K: per-RoPE-pair scaling (rotation commutes with pair scaling).
+        pairs = _pick(rng, num_pairs, spec.spike_fraction)
+        qk_scales = _draw_scales(rng, len(pairs), spec.spike_range)
+        rows = np.stack([2 * pairs, 2 * pairs + 1], axis=1).reshape(-1)
+        pair_scales = np.repeat(qk_scales, 2)
+        block.attn.wq.weight.data[rows, :] *= pair_scales[:, None]
+        block.attn.wk.weight.data[rows, :] /= pair_scales[:, None]
+        report[f"blocks.{i}.attn.wq"] = {"rows": rows, "scales": pair_scales}
+    return report

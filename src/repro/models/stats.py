@@ -1,0 +1,70 @@
+"""Weight-distribution statistics (paper Fig. 3b).
+
+Quantifies the two observations the paper's algorithm is built on:
+a small fraction of weights are outliers, and those outliers concentrate
+in a few channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.model import TransformerLM
+
+
+@dataclass(frozen=True)
+class WeightStats:
+    """Summary of one weight matrix."""
+
+    outlier_ratio: float          # fraction of |w| > threshold
+    channel_concentration: float  # fraction of outliers in top-5% channels
+    max_abs: float
+    std: float
+    threshold: float
+
+
+def weight_stats(weight: np.ndarray, sigma_multiple: float = 6.0) -> WeightStats:
+    """Classify weights beyond ``sigma_multiple`` robust deviations as outliers.
+
+    Uses a median-absolute-deviation scale estimate so the threshold is not
+    itself inflated by the outliers being measured.
+    """
+    w = np.asarray(weight, dtype=np.float64)
+    flat = np.abs(w).reshape(-1)
+    mad = np.median(np.abs(w - np.median(w)))
+    scale = 1.4826 * mad if mad > 0 else flat.std()
+    threshold = sigma_multiple * scale
+    outliers = flat > threshold
+    ratio = float(outliers.mean())
+
+    # Channel concentration: share of outliers living in the top-5% rows
+    # (output channels) ranked by outlier count.
+    per_channel = (np.abs(w) > threshold).sum(axis=1)
+    order = np.argsort(per_channel)[::-1]
+    top = max(1, int(round(0.05 * w.shape[0])))
+    total = per_channel.sum()
+    concentration = float(per_channel[order[:top]].sum() / total) if total else 0.0
+    return WeightStats(outlier_ratio=ratio, channel_concentration=concentration,
+                       max_abs=float(flat.max()), std=float(w.std()),
+                       threshold=float(threshold))
+
+
+def model_weight_stats(model: TransformerLM, sigma_multiple: float = 6.0
+                       ) -> dict[str, WeightStats]:
+    """Per-layer stats over the quantization surface."""
+    return {name: weight_stats(layer.weight.data, sigma_multiple)
+            for name, layer in model.quantizable_linears()}
+
+
+def aggregate_outlier_ratio(model: TransformerLM, sigma_multiple: float = 6.0) -> float:
+    """Element-level outlier fraction across all quantizable weights."""
+    total = 0
+    outliers = 0
+    for _, layer in model.quantizable_linears():
+        stats = weight_stats(layer.weight.data, sigma_multiple)
+        n = layer.weight.data.size
+        total += n
+        outliers += int(round(stats.outlier_ratio * n))
+    return outliers / total if total else 0.0

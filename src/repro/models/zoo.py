@@ -1,0 +1,112 @@
+"""Train-once-and-cache model zoo.
+
+``load_model`` returns a :class:`ZooModel` bundling the trained network
+(with injected outliers), the shared tokenizer, and training metadata.
+Weights are cached under :func:`repro.config.artifacts_dir`, so the first
+call trains (a few minutes for the largest entry) and later calls load
+instantly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import artifacts_dir, DEFAULT_SEED
+from repro.data.corpus import generate_corpus
+from repro.data.loader import split_stream
+from repro.data.tokenizer import WordTokenizer
+from repro.models.configs import ZOO_CONFIGS, ZOO_TRAIN_STEPS, zoo_config
+from repro.models.outliers import (OutlierSpec, inject_outliers,
+                                   pretrain_column_outliers)
+from repro.nn.model import TransformerLM
+from repro.train.trainer import Trainer, TrainConfig
+
+#: Sentences per corpus used to build the training stream and tokenizer.
+TRAIN_SENTENCES = 30_000
+TOKENIZER_VOCAB = 512
+
+
+@dataclass
+class ZooModel:
+    """A trained simulation model plus its tokenizer and metadata."""
+
+    name: str
+    model: TransformerLM
+    tokenizer: WordTokenizer
+    meta: dict
+
+
+def build_tokenizer(seed: int = DEFAULT_SEED) -> WordTokenizer:
+    """Tokenizer trained on both corpora (shared by every zoo entry)."""
+    path = artifacts_dir() / "tokenizer.json"
+    if path.exists():
+        vocab = json.loads(path.read_text())["vocab"]
+        return WordTokenizer(vocab)
+    corpora = [generate_corpus(name, TRAIN_SENTENCES, seed=seed)
+               for name in ("wikitext-sim", "c4-sim")]
+    tokenizer = WordTokenizer.train(corpora, TOKENIZER_VOCAB)
+    path.write_text(json.dumps({"vocab": tokenizer.vocab}))
+    return tokenizer
+
+
+def training_stream(tokenizer: WordTokenizer, seed: int = DEFAULT_SEED) -> np.ndarray:
+    """Mixed wikitext-sim + c4-sim token stream used for zoo training."""
+    parts = [tokenizer.encode(generate_corpus(name, TRAIN_SENTENCES, seed=seed))
+             for name in ("wikitext-sim", "c4-sim")]
+    return np.concatenate(parts)
+
+
+def load_model(name: str, train_if_missing: bool = True,
+               outlier_spec: OutlierSpec | None = None,
+               verbose: bool = False) -> ZooModel:
+    """Load (or train and cache) a zoo model by name."""
+    config = zoo_config(name)
+    tokenizer = build_tokenizer()
+    weights_path = artifacts_dir() / f"{name}.npz"
+    meta_path = artifacts_dir() / f"{name}.json"
+
+    model = TransformerLM(config)
+    if weights_path.exists() and meta_path.exists():
+        model.load(weights_path)
+        meta = json.loads(meta_path.read_text())
+        return ZooModel(name=name, model=model, tokenizer=tokenizer, meta=meta)
+
+    if not train_if_missing:
+        raise FileNotFoundError(f"no cached weights for {name} at {weights_path}")
+
+    spec = outlier_spec or OutlierSpec(seed=config.seed + 1000)
+    pretrain_report = pretrain_column_outliers(model, spec)
+
+    stream = training_stream(tokenizer)
+    train, val = split_stream(stream, val_fraction=0.05)
+    train_config = TrainConfig(steps=ZOO_TRAIN_STEPS[name], batch_size=16,
+                               seq_len=128, lr=3e-3, weight_decay=0.02,
+                               seed=config.seed)
+    trainer = Trainer(model, train, train_config, val_stream=val, verbose=verbose)
+    summary = trainer.train()
+
+    spike_report = inject_outliers(model, spec)
+
+    model.save(weights_path)
+    meta = {
+        "config": config.to_dict(),
+        "train": {"steps": train_config.steps, **summary},
+        "outlier_spec": {"column_fraction": spec.column_fraction,
+                         "column_range": list(spec.column_range),
+                         "spike_fraction": spec.spike_fraction,
+                         "spike_range": list(spec.spike_range),
+                         "seed": spec.seed},
+        "outlier_columns": {k: np.asarray(v["columns"]).tolist()
+                            for k, v in pretrain_report.items()},
+        "spike_channels": {k: np.asarray(v["rows"]).tolist()
+                           for k, v in spike_report.items()},
+    }
+    meta_path.write_text(json.dumps(meta))
+    return ZooModel(name=name, model=model, tokenizer=tokenizer, meta=meta)
+
+
+def available_models() -> list[str]:
+    return sorted(ZOO_CONFIGS)

@@ -1,0 +1,21 @@
+"""LLaMA-architecture neural-network substrate (numpy + repro.autograd).
+
+The block layout follows the paper's Fig. 2(a): RMSNorm -> causal
+self-attention (QKV generation, attention, output linear) -> RMSNorm ->
+feed-forward network (Linear, ReLU, Linear), with residual connections
+and rotary position embeddings on Q/K.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Linear, Embedding, RMSNorm
+from repro.nn.rope import RotaryEmbedding
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.transformer import FeedForward, TransformerBlock
+from repro.nn.model import ModelConfig, TransformerLM
+from repro.nn.kv_cache import KVCache
+
+__all__ = [
+    "Module", "Parameter", "Linear", "Embedding", "RMSNorm",
+    "RotaryEmbedding", "MultiHeadAttention", "FeedForward",
+    "TransformerBlock", "ModelConfig", "TransformerLM", "KVCache",
+]

@@ -1,0 +1,58 @@
+"""Key/value cache for incremental decoding.
+
+Also provides the byte accounting used by the Fig. 2(b) serving-memory
+experiment (weights vs KV cache vs other).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KVCache:
+    """Per-layer append-only K/V storage.
+
+    Keys/values are stored as ``(batch, heads, time, head_dim)`` arrays,
+    mirroring the attention layout, and grown by concatenation; the cache
+    is an inference-path object so no gradients flow through it.
+    """
+
+    def __init__(self, num_layers: int):
+        self.num_layers = num_layers
+        self._keys: list[np.ndarray | None] = [None] * num_layers
+        self._values: list[np.ndarray | None] = [None] * num_layers
+
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Append new K/V for ``layer``; return the full cached arrays."""
+        if self._keys[layer] is None:
+            self._keys[layer] = k
+            self._values[layer] = v
+        else:
+            self._keys[layer] = np.concatenate([self._keys[layer], k], axis=2)
+            self._values[layer] = np.concatenate([self._values[layer], v], axis=2)
+        return self._keys[layer], self._values[layer]
+
+    @property
+    def seq_len(self) -> int:
+        first = self._keys[0]
+        return 0 if first is None else first.shape[2]
+
+    def layer_len(self, layer: int) -> int:
+        """Cached time steps for ``layer`` (may lag ``seq_len`` mid-forward)."""
+        k = self._keys[layer]
+        return 0 if k is None else k.shape[2]
+
+    def num_bytes(self, bytes_per_element: int = 2) -> int:
+        """Total cache footprint assuming FP16 storage by default."""
+        total = 0
+        for k, v in zip(self._keys, self._values):
+            if k is not None:
+                total += (k.size + v.size) * bytes_per_element
+        return total
+
+    @staticmethod
+    def projected_bytes(num_layers: int, num_heads: int, head_dim: int,
+                        seq_len: int, batch: int = 1,
+                        bytes_per_element: int = 2) -> int:
+        """Closed-form footprint for a hypothetical serving configuration."""
+        return 2 * num_layers * num_heads * head_dim * seq_len * batch * bytes_per_element

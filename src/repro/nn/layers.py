@@ -1,0 +1,69 @@
+"""Basic layers: Linear, Embedding, RMSNorm.
+
+``Linear`` is the quantization surface of the whole reproduction: every
+weight-quantization method in :mod:`repro.quant` and :mod:`repro.core`
+rewrites ``Linear.weight`` (out_features x in_features, row = output
+channel) and attaches its bit-accounting metadata to the layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with weight shape ``(out, in)``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = False,
+                 rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        # Gaussian init: trained LLM weights are heavy-tailed/Gaussian, and
+        # the quantization-grid behaviour the paper studies depends on it.
+        scale = 1.0 / np.sqrt(in_features)
+        weight = rng.standard_normal((out_features, in_features)) * scale
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(weight.astype(np.float32))
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
+        # Populated by quantizers (see repro.quant.base.QuantRecord).
+        self.quant_record = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        tag = "" if self.quant_record is None else f", quant={self.quant_record.method}"
+        return f"Linear({self.in_features}, {self.out_features}{tag})"
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table."""
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(
+            rng.standard_normal((num_embeddings, dim)).astype(np.float32) * 0.02)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return F.embedding(self.weight, indices)
+
+
+class RMSNorm(Module):
+    """LLaMA-style RMS normalisation with learned gain."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        self.dim = dim
+        self.eps = eps
+        self.gain = Parameter(np.ones(dim, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.rms_norm(x, self.gain, eps=self.eps)

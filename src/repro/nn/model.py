@@ -1,0 +1,121 @@
+"""Decoder-only LLaMA-style language model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad, functional as F
+from repro.nn.layers import Linear, Embedding, RMSNorm
+from repro.nn.module import Module
+from repro.nn.rope import RotaryEmbedding
+from repro.nn.transformer import TransformerBlock
+from repro.nn.kv_cache import KVCache
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters.
+
+    ``name`` identifies zoo entries (e.g. ``llama-sim-7b``); the remaining
+    fields are the standard decoder-only knobs.
+    """
+
+    name: str = "custom"
+    vocab_size: int = 512
+    d_model: int = 128
+    num_layers: int = 4
+    num_heads: int = 4
+    d_ff: int = 512
+    max_seq_len: int = 512
+    rope_theta: float = 10000.0
+    seed: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "ModelConfig":
+        return ModelConfig(**data)
+
+
+class TransformerLM(Module):
+    """Token embedding, N transformer blocks, final norm, LM head.
+
+    The LM head and embeddings stay in high precision (as in the paper and
+    its baselines); the quantization surface is the per-block linear
+    layers, enumerated by :meth:`quantizable_linears`.
+    """
+
+    def __init__(self, config: ModelConfig):
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.embed = Embedding(config.vocab_size, config.d_model, rng=rng)
+        self.rope = RotaryEmbedding(config.d_model // config.num_heads,
+                                    config.max_seq_len, theta=config.rope_theta)
+        self.blocks = [
+            TransformerBlock(config.d_model, config.num_heads, config.d_ff,
+                             self.rope, rng=rng)
+            for _ in range(config.num_layers)
+        ]
+        self.final_norm = RMSNorm(config.d_model)
+        self.head = Linear(config.d_model, config.vocab_size, rng=rng)
+
+    def forward(self, tokens: np.ndarray, cache: KVCache | None = None) -> Tensor:
+        """Return logits ``(batch, seq, vocab)`` for integer ``tokens``."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        x = self.embed(tokens)
+        for index, block in enumerate(self.blocks):
+            x = block(x, cache=cache, layer_index=index)
+        return self.head(self.final_norm(x))
+
+    # ------------------------------------------------------------------ #
+    # quantization surface
+    # ------------------------------------------------------------------ #
+    def quantizable_linears(self) -> list[tuple[str, Linear]]:
+        """Every linear layer the paper's methods quantize (attn + FFN)."""
+        layers = []
+        for i, block in enumerate(self.blocks):
+            layers.extend([
+                (f"blocks.{i}.attn.wq", block.attn.wq),
+                (f"blocks.{i}.attn.wk", block.attn.wk),
+                (f"blocks.{i}.attn.wv", block.attn.wv),
+                (f"blocks.{i}.attn.wo", block.attn.wo),
+                (f"blocks.{i}.ffn.up", block.ffn.up),
+                (f"blocks.{i}.ffn.down", block.ffn.down),
+            ])
+        return layers
+
+    def weight_bytes(self, bits_per_weight: float = 16.0) -> int:
+        """Model-weight footprint at a given storage precision."""
+        return int(self.num_parameters() * bits_per_weight / 8)
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+    def generate(self, prompt: np.ndarray, max_new_tokens: int,
+                 temperature: float = 1.0,
+                 rng: np.random.Generator | None = None) -> np.ndarray:
+        """Sample a continuation using the KV cache (greedy if T == 0)."""
+        rng = rng or np.random.default_rng(0)
+        prompt = np.asarray(prompt).reshape(-1)
+        cache = KVCache(self.config.num_layers)
+        tokens = list(prompt)
+        with no_grad():
+            logits = self.forward(prompt[None, :], cache=cache)
+            for _ in range(max_new_tokens):
+                last = logits.data[0, -1]
+                if temperature <= 0.0:
+                    next_token = int(last.argmax())
+                else:
+                    scaled = last / temperature
+                    scaled -= scaled.max()
+                    probs = np.exp(scaled)
+                    probs /= probs.sum()
+                    next_token = int(rng.choice(len(probs), p=probs))
+                tokens.append(next_token)
+                logits = self.forward(np.array([[next_token]]), cache=cache)
+        return np.asarray(tokens, dtype=np.int64)

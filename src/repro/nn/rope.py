@@ -1,0 +1,62 @@
+"""Rotary position embeddings (RoPE).
+
+Dimensions are rotated in interleaved pairs ``(2i, 2i+1)``: a rotation by
+angle ``theta_i * position``.  Because rotation acts on each pair as an
+orthogonal 2x2 matrix, uniformly scaling *both* members of a pair commutes
+with RoPE — the property :mod:`repro.models.outliers` relies on for
+function-preserving outlier injection into Q/K projections.
+
+The application is implemented as an autograd primitive; the backward pass
+is rotation by the opposite angle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+class RotaryEmbedding:
+    """Precomputed cos/sin tables for a head dimension."""
+
+    def __init__(self, head_dim: int, max_seq_len: int, theta: float = 10000.0):
+        if head_dim % 2 != 0:
+            raise ValueError(f"head_dim must be even, got {head_dim}")
+        self.head_dim = head_dim
+        self.max_seq_len = max_seq_len
+        inv_freq = theta ** (-np.arange(0, head_dim, 2, dtype=np.float64) / head_dim)
+        positions = np.arange(max_seq_len, dtype=np.float64)
+        angles = np.outer(positions, inv_freq)  # (T, head_dim/2)
+        self.cos = np.cos(angles).astype(np.float32)
+        self.sin = np.sin(angles).astype(np.float32)
+
+    def __call__(self, x: Tensor, position_offset: int = 0) -> Tensor:
+        """Rotate ``x`` of shape ``(..., T, head_dim)`` by position."""
+        seq_len = x.shape[-2]
+        if position_offset + seq_len > self.max_seq_len:
+            raise ValueError(
+                f"sequence [{position_offset}, {position_offset + seq_len}) exceeds "
+                f"max_seq_len={self.max_seq_len}")
+        cos = self.cos[position_offset:position_offset + seq_len]
+        sin = self.sin[position_offset:position_offset + seq_len]
+        return _apply_rotation(x, cos, sin)
+
+
+def _rotate(data: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    even = data[..., 0::2]
+    odd = data[..., 1::2]
+    out = np.empty_like(data)
+    out[..., 0::2] = even * cos - odd * sin
+    out[..., 1::2] = even * sin + odd * cos
+    return out
+
+
+def _apply_rotation(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+    out = x._make(_rotate(x.data, cos, sin), (x,))
+    if out.requires_grad:
+        def _backward(g, a=x, cos=cos, sin=sin):
+            # Transpose of a rotation is rotation by the negative angle.
+            a._accumulate(_rotate(g, cos, -sin))
+        out._backward = _backward
+    return out

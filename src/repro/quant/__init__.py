@@ -1,0 +1,30 @@
+"""Weight-quantization framework and the paper's five baselines.
+
+Every method implements :class:`repro.quant.base.Quantizer`: it rewrites
+``Linear.weight`` with the dequantized (simulated-quantization) values and
+attaches a :class:`~repro.quant.base.QuantRecord` with honest bit
+accounting.  The paper's own method lives in :mod:`repro.core` and plugs
+into the same interface.
+"""
+
+from repro.quant.base import Quantizer, QuantRecord, ModelQuantReport
+from repro.quant.grid import (symmetric_quantize, asymmetric_quantize,
+                              symmetric_grid_size, dequantize_asymmetric)
+from repro.quant.calibration import (collect_layer_inputs, calibration_batches,
+                                     sequential_quantize)
+from repro.quant.uniform import UniformQuantizer
+from repro.quant.rtn import RTNQuantizer
+from repro.quant.gptq import GPTQQuantizer
+from repro.quant.pbllm import PBLLMQuantizer
+from repro.quant.owq import OWQQuantizer
+from repro.quant.awq import AWQQuantizer
+from repro.quant.registry import get_quantizer, available_methods, register
+
+__all__ = [
+    "Quantizer", "QuantRecord", "ModelQuantReport", "symmetric_quantize",
+    "asymmetric_quantize", "symmetric_grid_size", "dequantize_asymmetric",
+    "collect_layer_inputs", "calibration_batches", "sequential_quantize",
+    "UniformQuantizer",
+    "RTNQuantizer", "GPTQQuantizer", "PBLLMQuantizer", "OWQQuantizer",
+    "AWQQuantizer", "get_quantizer", "available_methods", "register",
+]

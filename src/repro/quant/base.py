@@ -1,0 +1,94 @@
+"""Quantizer interface and bit accounting."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.model import TransformerLM
+
+
+@dataclass
+class QuantRecord:
+    """Bit accounting for one quantized weight matrix.
+
+    ``bits_payload`` counts the quantized weight codes themselves;
+    ``bits_metadata`` counts scales/zeros/format indices, both per weight.
+    ``avg_bits`` is their sum — the honest storage cost.  Papers often
+    quote payload-centric conventions (e.g. PB-LLM's "2.7 bits"); the
+    per-method docstrings note where our accounting differs.
+    """
+
+    method: str
+    bits_payload: float
+    bits_metadata: float
+    weight_shape: tuple[int, int]
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def avg_bits(self) -> float:
+        return self.bits_payload + self.bits_metadata
+
+
+@dataclass
+class ModelQuantReport:
+    """Aggregated result of quantizing a whole model."""
+
+    method: str
+    records: dict[str, QuantRecord]
+
+    @property
+    def avg_bits(self) -> float:
+        """Weight-count-weighted average bits across quantized layers."""
+        total_bits = 0.0
+        total_weights = 0
+        for record in self.records.values():
+            n = int(np.prod(record.weight_shape))
+            total_bits += record.avg_bits * n
+            total_weights += n
+        return total_bits / total_weights if total_weights else 0.0
+
+    def total_bytes(self) -> int:
+        total_bits = sum(r.avg_bits * int(np.prod(r.weight_shape))
+                         for r in self.records.values())
+        return int(np.ceil(total_bits / 8))
+
+
+class Quantizer(abc.ABC):
+    """Base class: quantize single matrices or a whole model in place."""
+
+    #: Registry name; subclasses override.
+    name: str = "base"
+    #: Whether :meth:`quantize_model` needs calibration activations.
+    needs_calibration: bool = False
+
+    @abc.abstractmethod
+    def quantize_weight(self, weight: np.ndarray,
+                        inputs: np.ndarray | None = None
+                        ) -> tuple[np.ndarray, QuantRecord]:
+        """Return (dequantized weight, record).
+
+        ``inputs`` is an ``(n_samples, in_features)`` activation matrix for
+        calibration-based methods; magnitude-only methods ignore it.
+        """
+
+    def quantize_model(self, model: TransformerLM,
+                       layer_inputs: dict[str, np.ndarray] | None = None
+                       ) -> ModelQuantReport:
+        """Quantize every quantizable linear layer of ``model`` in place."""
+        if self.needs_calibration and not layer_inputs:
+            raise ValueError(f"{self.name} requires calibration layer_inputs; "
+                             "use repro.quant.collect_layer_inputs")
+        records: dict[str, QuantRecord] = {}
+        for layer_name, layer in model.quantizable_linears():
+            inputs = layer_inputs.get(layer_name) if layer_inputs else None
+            dequantized, record = self.quantize_weight(layer.weight.data,
+                                                       inputs=inputs)
+            if dequantized.shape != layer.weight.data.shape:
+                raise AssertionError(f"{self.name} changed shape of {layer_name}")
+            layer.weight.data = dequantized.astype(np.float32)
+            layer.quant_record = record
+            records[layer_name] = record
+        return ModelQuantReport(method=self.name, records=records)

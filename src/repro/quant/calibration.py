@@ -1,0 +1,140 @@
+"""Calibration-activation collection for GPTQ / OWQ.
+
+Two modes:
+
+* :func:`collect_layer_inputs` — one forward pass over calibration
+  batches recording the FP inputs of every quantizable linear;
+* :func:`sequential_quantize` — the faithful GPTQ protocol: blocks are
+  quantized in order and later blocks are calibrated on activations from
+  the already-quantized prefix, so quantization error compounds through
+  depth exactly as in the reference implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import no_grad, Tensor
+from repro.data.loader import BatchLoader
+from repro.nn.layers import Linear
+from repro.nn.model import TransformerLM
+
+
+def calibration_batches(stream: np.ndarray, num_tokens: int = 4096,
+                        seq_len: int = 128, seed: int = 0) -> np.ndarray:
+    """Cut ``num_tokens`` of calibration windows from a token stream."""
+    loader = BatchLoader(stream, batch_size=max(1, num_tokens // seq_len),
+                         seq_len=seq_len, seed=seed)
+    inputs, _ = next(iter(loader.epoch(0)))
+    return inputs
+
+
+def collect_layer_inputs(model: TransformerLM, batches: np.ndarray,
+                         max_samples_per_layer: int = 8192
+                         ) -> dict[str, np.ndarray]:
+    """Run ``batches`` through ``model``, capturing each linear's inputs.
+
+    Returns ``{layer_name: (n_samples, in_features)}`` float64 arrays,
+    sub-sampled deterministically if they exceed ``max_samples_per_layer``.
+    """
+    layers = model.quantizable_linears()
+    captured: dict[str, list[np.ndarray]] = {name: [] for name, _ in layers}
+
+    def make_forward(name: str, layer: Linear):
+        plain_forward = Linear.forward
+        def capturing_forward(x: Tensor) -> Tensor:
+            captured[name].append(
+                x.data.reshape(-1, layer.in_features).astype(np.float64))
+            return plain_forward(layer, x)
+        return capturing_forward
+
+    try:
+        for name, layer in layers:
+            # Shadow the class method with an instance attribute.
+            layer.forward = make_forward(name, layer)
+        with no_grad():
+            model(np.asarray(batches))
+    finally:
+        for _, layer in layers:
+            vars(layer).pop("forward", None)
+
+    result: dict[str, np.ndarray] = {}
+    for name, chunks in captured.items():
+        data = np.concatenate(chunks, axis=0)
+        if data.shape[0] > max_samples_per_layer:
+            step = data.shape[0] // max_samples_per_layer
+            data = data[::step][:max_samples_per_layer]
+        result[name] = data
+    return result
+
+
+def sequential_quantize(model: TransformerLM, quantizer, batches: np.ndarray,
+                        max_samples_per_layer: int = 8192):
+    """Quantize ``model`` block by block with error propagation.
+
+    For each transformer block, calibration inputs are re-collected from
+    the *current* model (earlier blocks already quantized), then the
+    block's linear layers are quantized.  Returns a
+    :class:`~repro.quant.base.ModelQuantReport`.
+    """
+    from repro.quant.base import ModelQuantReport  # local: avoid cycle
+
+    by_block: dict[int, list[tuple[str, Linear]]] = {}
+    for name, layer in model.quantizable_linears():
+        block_index = int(name.split(".")[1])
+        by_block.setdefault(block_index, []).append((name, layer))
+
+    records = {}
+    for block_index in sorted(by_block):
+        layers = by_block[block_index]
+        inputs = _collect_for(model, layers, batches, max_samples_per_layer)
+        for name, layer in layers:
+            dequantized, record = quantizer.quantize_weight(
+                layer.weight.data, inputs=inputs[name])
+            layer.weight.data = dequantized.astype(np.float32)
+            layer.quant_record = record
+            records[name] = record
+    return ModelQuantReport(method=quantizer.name, records=records)
+
+
+def _collect_for(model: TransformerLM, layers: list[tuple[str, Linear]],
+                 batches: np.ndarray, max_samples: int) -> dict[str, np.ndarray]:
+    """Capture inputs for a subset of layers with one forward pass."""
+    captured: dict[str, list[np.ndarray]] = {name: [] for name, _ in layers}
+
+    def make_forward(name: str, layer: Linear):
+        plain_forward = Linear.forward
+        def capturing_forward(x):
+            captured[name].append(
+                x.data.reshape(-1, layer.in_features).astype(np.float64))
+            return plain_forward(layer, x)
+        return capturing_forward
+
+    try:
+        for name, layer in layers:
+            layer.forward = make_forward(name, layer)
+        with no_grad():
+            model(np.asarray(batches))
+    finally:
+        for _, layer in layers:
+            vars(layer).pop("forward", None)
+
+    result = {}
+    for name, chunks in captured.items():
+        data = np.concatenate(chunks, axis=0)
+        if data.shape[0] > max_samples:
+            step = data.shape[0] // max_samples
+            data = data[::step][:max_samples]
+        result[name] = data
+    return result
+
+
+def input_hessian(inputs: np.ndarray, damping: float = 0.01) -> np.ndarray:
+    """Damped Gauss-Newton Hessian ``2 X^T X / n + lambda I`` (GPTQ's H)."""
+    x = np.asarray(inputs, dtype=np.float64)
+    n = max(1, x.shape[0])
+    hessian = 2.0 * (x.T @ x) / n
+    mean_diag = float(np.mean(np.diag(hessian)))
+    lam = damping * (mean_diag if mean_diag > 0 else 1.0)
+    hessian[np.diag_indices_from(hessian)] += lam
+    return hessian

@@ -1,0 +1,84 @@
+"""Uniform quantization grids (paper Eq. 1 and the asymmetric variant).
+
+Symmetric (sign-magnitude) grids follow the paper's Equation 1:
+
+    s = max(|x|) / (2^(b-1) - 1),   x_q = round(x / s)
+
+giving integer levels in ``[-(2^(b-1)-1), 2^(b-1)-1]`` — e.g. {-1, 0, 1}
+for 2 bits and {-3 .. 3} for 3 bits.  Asymmetric grids use a min/max
+affine mapping with ``2^b`` levels (used by RTN/GPTQ/OWQ baselines).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def symmetric_grid_size(bits: int) -> int:
+    """Largest representable magnitude on the paper's symmetric grid."""
+    if bits < 2:
+        raise ValueError(f"symmetric grid needs bits >= 2, got {bits}")
+    return 2 ** (bits - 1) - 1
+
+
+def symmetric_quantize(weight: np.ndarray, bits: int, axis: int | None = None
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Quantize on the paper's symmetric grid.
+
+    Returns ``(dequantized, codes, scale)``.  ``axis`` selects the scaling
+    granularity: ``None`` for per-tensor, otherwise scales are computed by
+    reducing over the remaining axes (e.g. ``axis=0`` on a 2-D weight gives
+    one scale per row / output channel).
+    """
+    w = np.asarray(weight, dtype=np.float64)
+    qmax = symmetric_grid_size(bits)
+    if axis is None:
+        max_abs = np.abs(w).max()
+        scale = np.asarray(max_abs / qmax if max_abs > 0 else 1.0)
+        codes = np.clip(np.round(w / scale), -qmax, qmax)
+        return (codes * scale).astype(np.float32), codes.astype(np.int32), scale
+    reduce_axes = tuple(i for i in range(w.ndim) if i != axis)
+    max_abs = np.abs(w).max(axis=reduce_axes, keepdims=True)
+    scale = np.where(max_abs > 0, max_abs / qmax, 1.0)
+    codes = np.clip(np.round(w / scale), -qmax, qmax)
+    return (codes * scale).astype(np.float32), codes.astype(np.int32), scale
+
+
+def asymmetric_params(weight: np.ndarray, bits: int, axis: int = 0
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-slice (scale, zero-point) for a min/max affine grid."""
+    w = np.asarray(weight, dtype=np.float64)
+    levels = 2 ** bits - 1
+    reduce_axes = tuple(i for i in range(w.ndim) if i != axis)
+    w_min = w.min(axis=reduce_axes, keepdims=True)
+    w_max = w.max(axis=reduce_axes, keepdims=True)
+    span = w_max - w_min
+    scale = np.where(span > 0, span / levels, 1.0)
+    zero = np.round(-w_min / scale)
+    return scale, zero
+
+
+def asymmetric_quantize(weight: np.ndarray, bits: int, axis: int = 0
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Min/max affine quantization; returns (dequantized, codes, scale, zero)."""
+    w = np.asarray(weight, dtype=np.float64)
+    levels = 2 ** bits - 1
+    scale, zero = asymmetric_params(w, bits, axis=axis)
+    codes = np.clip(np.round(w / scale) + zero, 0, levels)
+    dequantized = (codes - zero) * scale
+    return dequantized.astype(np.float32), codes.astype(np.int32), scale, zero
+
+
+def dequantize_asymmetric(codes: np.ndarray, scale: np.ndarray,
+                          zero: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`asymmetric_quantize` given stored parameters."""
+    return ((np.asarray(codes, dtype=np.float64) - zero) * scale).astype(np.float32)
+
+
+def quantize_with_params(weight: np.ndarray, scale: np.ndarray,
+                         zero: np.ndarray, bits: int) -> np.ndarray:
+    """Round ``weight`` onto an existing affine grid (used by GPTQ)."""
+    levels = 2 ** bits - 1
+    codes = np.clip(np.round(np.asarray(weight, dtype=np.float64) / scale) + zero,
+                    0, levels)
+    return ((codes - zero) * scale)

@@ -1,0 +1,57 @@
+"""Name -> quantizer factory registry.
+
+The registry decouples experiment configuration (method names and kwargs)
+from the implementing classes; :mod:`repro.core` registers FineQ here so
+all seven of the paper's methods are reachable through one interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.quant.base import Quantizer
+from repro.quant.uniform import UniformQuantizer
+from repro.quant.rtn import RTNQuantizer
+from repro.quant.gptq import GPTQQuantizer
+from repro.quant.pbllm import PBLLMQuantizer
+from repro.quant.owq import OWQQuantizer
+from repro.quant.awq import AWQQuantizer
+
+_REGISTRY: dict[str, Callable[..., Quantizer]] = {}
+
+
+def register(name: str, factory: Callable[..., Quantizer]) -> None:
+    """Register a quantizer factory under ``name``."""
+    if name in _REGISTRY:
+        raise ValueError(f"quantizer {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_quantizer(name: str, **kwargs) -> Quantizer:
+    """Instantiate a quantizer by registry name."""
+    _ensure_core_registered()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown quantizer {name!r}; "
+                       f"available: {available_methods()}") from None
+    return factory(**kwargs)
+
+
+def available_methods() -> list[str]:
+    _ensure_core_registered()
+    return sorted(_REGISTRY)
+
+
+def _ensure_core_registered() -> None:
+    """Import repro.core lazily so it can self-register without cycles."""
+    if "fineq" not in _REGISTRY:
+        import repro.core  # noqa: F401  (registers "fineq" on import)
+
+
+register("uniform", UniformQuantizer)
+register("rtn", RTNQuantizer)
+register("gptq", GPTQQuantizer)
+register("pb-llm", PBLLMQuantizer)
+register("owq", OWQQuantizer)
+register("awq", AWQQuantizer)

@@ -1,0 +1,41 @@
+"""RTN: round-to-nearest on a per-row asymmetric grid (paper baseline 2).
+
+"Rounds all weights to the nearest quantized value on a fully uniform,
+asymmetric per-row grid" (paper Sec. V-A).  Per-row min/max adapts to
+channel-level variance, but within-row spikes still stretch the grid so
+at 2 bits the bulk of each affected row collapses onto one or two levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.base import Quantizer, QuantRecord
+from repro.quant.grid import asymmetric_quantize
+
+
+class RTNQuantizer(Quantizer):
+    """Per-output-channel asymmetric round-to-nearest."""
+
+    name = "rtn"
+
+    def __init__(self, bits: int = 2):
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        self.bits = bits
+
+    def quantize_weight(self, weight: np.ndarray,
+                        inputs: np.ndarray | None = None
+                        ) -> tuple[np.ndarray, QuantRecord]:
+        dequantized, codes, _scale, _zero = asymmetric_quantize(
+            weight, self.bits, axis=0)
+        record = QuantRecord(
+            method=self.name,
+            bits_payload=float(self.bits),
+            # FP16 scale + zero point per row.
+            bits_metadata=32.0 / weight.shape[1],
+            weight_shape=weight.shape,
+            detail={"bits": self.bits,
+                    "levels_used": int(len(np.unique(codes)))},
+        )
+        return dequantized, record

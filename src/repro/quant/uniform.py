@@ -1,0 +1,53 @@
+"""Uniform: symmetric per-tensor quantization (paper baseline 1).
+
+One symmetric grid for the whole matrix — the coarsest granularity, and
+the baseline the paper shows collapsing hardest at 2 bits because a single
+channel-level outlier inflates the scale for every weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.base import Quantizer, QuantRecord
+from repro.quant.grid import symmetric_quantize
+
+
+class UniformQuantizer(Quantizer):
+    """Symmetric uniform quantization.
+
+    Per-tensor by default (the paper's Table I baseline).  With
+    ``per_channel=True`` one symmetric scale per input channel is used —
+    the grid of the paper's Eq. 1 and the configuration behind Fig. 3(b)'s
+    bit-width sensitivity sweep (per-tensor grids are destroyed by
+    channel-level outliers at *any* low width, so the 16->3-bit plateau
+    the paper shows is only visible per channel).
+    """
+
+    name = "uniform"
+
+    def __init__(self, bits: int = 2, per_channel: bool = False):
+        if bits < 2:
+            raise ValueError("uniform symmetric grid needs bits >= 2")
+        self.bits = bits
+        self.per_channel = per_channel
+
+    def quantize_weight(self, weight: np.ndarray,
+                        inputs: np.ndarray | None = None
+                        ) -> tuple[np.ndarray, QuantRecord]:
+        axis = 1 if self.per_channel else None
+        dequantized, codes, _scale = symmetric_quantize(weight, self.bits,
+                                                        axis=axis)
+        if self.per_channel:
+            metadata = 16.0 / weight.shape[0]  # FP16 scale per input column
+        else:
+            metadata = 16.0 / weight.size      # one FP16 scale per tensor
+        record = QuantRecord(
+            method=self.name,
+            bits_payload=float(self.bits),
+            bits_metadata=metadata,
+            weight_shape=weight.shape,
+            detail={"bits": self.bits, "per_channel": self.per_channel,
+                    "codes_nonzero": int((codes != 0).sum())},
+        )
+        return dequantized, record

@@ -1,0 +1,6 @@
+"""Training utilities: optimizers, schedules, and a deterministic trainer."""
+
+from repro.train.optim import Adam, CosineSchedule, clip_grad_norm
+from repro.train.trainer import Trainer, TrainConfig
+
+__all__ = ["Adam", "CosineSchedule", "clip_grad_norm", "Trainer", "TrainConfig"]

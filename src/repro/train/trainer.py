@@ -1,0 +1,86 @@
+"""Deterministic training loop for the simulation model zoo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd import functional as F, no_grad
+from repro.data.loader import BatchLoader
+from repro.nn.model import TransformerLM
+from repro.train.optim import Adam, CosineSchedule, clip_grad_norm
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for one training run."""
+
+    steps: int = 500
+    batch_size: int = 16
+    seq_len: int = 128
+    lr: float = 3e-3
+    warmup_steps: int = 50
+    weight_decay: float = 0.01
+    grad_clip: float = 1.0
+    log_every: int = 100
+    seed: int = 0
+
+
+class Trainer:
+    """Trains a :class:`TransformerLM` on a token stream."""
+
+    def __init__(self, model: TransformerLM, train_stream: np.ndarray,
+                 config: TrainConfig, val_stream: np.ndarray | None = None,
+                 verbose: bool = False):
+        self.model = model
+        self.config = config
+        self.verbose = verbose
+        self.loader = BatchLoader(train_stream, config.batch_size,
+                                  config.seq_len, seed=config.seed)
+        self.val_stream = val_stream
+        self.optimizer = Adam(model.parameters(), lr=config.lr,
+                              weight_decay=config.weight_decay)
+        self.schedule = CosineSchedule(config.lr, config.warmup_steps,
+                                       config.steps, min_lr=config.lr * 0.1)
+        self.history: list[dict] = []
+
+    def _loss(self, inputs: np.ndarray, targets: np.ndarray):
+        vocab = self.model.config.vocab_size
+        logits = self.model(inputs)
+        return F.cross_entropy(logits.reshape(-1, vocab), targets.reshape(-1))
+
+    def train(self) -> dict:
+        """Run the configured number of steps; return summary metrics."""
+        batches = self.loader.forever()
+        for step in range(self.config.steps):
+            inputs, targets = next(batches)
+            self.optimizer.lr = self.schedule.lr_at(step)
+            self.optimizer.zero_grad()
+            loss = self._loss(inputs, targets)
+            loss.backward()
+            clip_grad_norm(self.optimizer.params, self.config.grad_clip)
+            self.optimizer.step()
+            if step % self.config.log_every == 0 or step == self.config.steps - 1:
+                record = {"step": step, "loss": loss.item(),
+                          "lr": self.optimizer.lr}
+                self.history.append(record)
+                if self.verbose:
+                    print(f"step {step:5d}  loss {record['loss']:.4f}  "
+                          f"lr {record['lr']:.2e}")
+        summary = {"final_loss": self.history[-1]["loss"]}
+        if self.val_stream is not None:
+            summary["val_loss"] = self.evaluate(self.val_stream)
+        return summary
+
+    def evaluate(self, stream: np.ndarray, max_batches: int = 8) -> float:
+        """Mean cross-entropy on held-out data."""
+        loader = BatchLoader(stream, self.config.batch_size,
+                             self.config.seq_len, seed=self.config.seed + 1)
+        losses = []
+        with no_grad():
+            for i, (inputs, targets) in enumerate(loader.epoch(0)):
+                if i >= max_batches:
+                    break
+                losses.append(self._loss(inputs, targets).item())
+        return float(np.mean(losses))

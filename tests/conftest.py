@@ -1,0 +1,61 @@
+"""Shared fixtures: tiny trained models and synthetic data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate_corpus, WordTokenizer, split_stream
+from repro.models import OutlierSpec, pretrain_column_outliers, inject_outliers
+from repro.models.configs import tiny_config
+from repro.nn import TransformerLM
+from repro.train import Trainer, TrainConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_tokenizer() -> WordTokenizer:
+    corpora = [generate_corpus(name, 2500, seed=0)
+               for name in ("wikitext-sim", "c4-sim")]
+    return WordTokenizer.train(corpora, 256)
+
+
+@pytest.fixture(scope="session")
+def tiny_stream(tiny_tokenizer) -> np.ndarray:
+    parts = [tiny_tokenizer.encode(generate_corpus(name, 2500, seed=0))
+             for name in ("wikitext-sim", "c4-sim")]
+    return np.concatenate(parts)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_stream) -> TransformerLM:
+    """A small trained model with injected LLM-like outliers.
+
+    Session-scoped: trained once (~10 s) and shared.  Tests must not
+    mutate it — quantization tests clone first.
+    """
+    config = tiny_config(vocab_size=256, seed=5)
+    model = TransformerLM(config)
+    spec = OutlierSpec(seed=5)
+    pretrain_column_outliers(model, spec)
+    train, val = split_stream(tiny_stream, 0.05)
+    trainer = Trainer(model, train,
+                      TrainConfig(steps=150, batch_size=16, seq_len=64,
+                                  lr=3e-3, weight_decay=0.02, seed=5))
+    trainer.train()
+    inject_outliers(model, spec)
+    return model
+
+
+@pytest.fixture(scope="session")
+def gaussian_weight() -> np.ndarray:
+    """A representative weight matrix: Gaussian bulk + column outliers."""
+    gen = np.random.default_rng(99)
+    weight = gen.standard_normal((96, 120)) * 0.05
+    cols = gen.choice(120, 3, replace=False)
+    weight[:, cols] *= 9.0
+    return weight

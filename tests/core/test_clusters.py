@@ -1,0 +1,65 @@
+"""Unit tests for cluster partitioning and outlier detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import (CLUSTER_SIZE, cluster_weights,
+                                 detect_outlier_clusters, initial_schemes,
+                                 SCHEME_WIDTHS, qmax_for_widths)
+
+
+def test_cluster_shape_exact_multiple():
+    clusters, pad = cluster_weights(np.arange(12.0).reshape(2, 6))
+    assert clusters.shape == (2, 2, 3)
+    assert pad == 0
+
+
+def test_cluster_padding():
+    clusters, pad = cluster_weights(np.ones((2, 7)))
+    assert clusters.shape == (2, 3, 3)
+    assert pad == 2
+    assert np.all(clusters[:, -1, 1:] == 0.0)
+
+
+def test_cluster_rejects_1d():
+    with pytest.raises(ValueError):
+        cluster_weights(np.ones(6))
+
+
+def test_outlier_rule_fires_above_4x():
+    clusters = np.array([[[0.27, 0.03, 0.11], [0.10, 0.12, 0.11]]])
+    outlier = detect_outlier_clusters(clusters)
+    assert outlier.tolist() == [[True, False]]
+
+
+def test_outlier_rule_on_magnitudes():
+    clusters = np.array([[[-0.27, 0.03, 0.11]]])
+    assert detect_outlier_clusters(clusters)[0, 0]
+
+
+def test_outlier_rule_zero_min_fires():
+    clusters = np.array([[[0.2, 0.0, 0.1]]])
+    assert detect_outlier_clusters(clusters)[0, 0]
+
+
+def test_all_zero_cluster_not_outlier():
+    clusters = np.zeros((1, 1, 3))
+    assert not detect_outlier_clusters(clusters)[0, 0]
+
+
+def test_initial_schemes_zero_smallest():
+    clusters = np.array([[[0.27, 0.03, 0.11],   # smallest at pos 1 -> '10'
+                          [0.17, 0.12, 0.01],   # smallest at pos 2 -> '11'
+                          [0.01, 0.24, 0.03],   # smallest at pos 0 -> '01'
+                          [0.10, 0.12, 0.11]]]) # normal -> '00'
+    schemes = initial_schemes(clusters)
+    assert schemes.tolist() == [[2, 3, 1, 0]]
+
+
+def test_scheme_widths_all_6_bits():
+    for widths in SCHEME_WIDTHS:
+        assert widths.sum() == 6
+
+
+def test_qmax_lookup():
+    assert qmax_for_widths(np.array([0, 2, 3])).tolist() == [0, 1, 3]

@@ -1,0 +1,97 @@
+"""Unit tests for scheme selection, scales, and pair harmonization."""
+
+import numpy as np
+
+from repro.core.clusters import cluster_weights, initial_schemes
+from repro.core.encoding import (channel_scales, harmonize_pairs,
+                                 quantize_codes, round_half_away,
+                                 scheme_reconstruction_error)
+
+
+def test_round_half_away():
+    values = np.array([0.5, -0.5, 1.5, -1.5, 0.49, 2.0])
+    assert round_half_away(values).tolist() == [1, -1, 2, -2, 0, 2]
+
+
+def test_channel_scale_outlier_channel_uses_3bit_grid():
+    clusters = np.array([[[0.27, 0.03, 0.11]]])
+    schemes = initial_schemes(clusters)
+    scale = channel_scales(clusters, schemes)
+    assert np.isclose(scale[0, 0, 0], 0.27 / 3)
+
+
+def test_channel_scale_normal_channel_uses_2bit_grid():
+    clusters = np.array([[[0.10, 0.12, 0.11]]])
+    schemes = initial_schemes(clusters)
+    scale = channel_scales(clusters, schemes)
+    assert np.isclose(scale[0, 0, 0], 0.12)
+
+
+def test_channel_scale_zero_channel_safe():
+    clusters = np.zeros((1, 2, 3))
+    schemes = np.zeros((1, 2), dtype=np.int64)
+    scale = channel_scales(clusters, schemes)
+    assert scale[0, 0, 0] == 1.0
+
+
+def test_quantize_codes_respects_widths():
+    clusters = np.array([[[0.27, 0.03, 0.11]]])
+    schemes = initial_schemes(clusters)          # '10' -> widths (3, 0, 3)
+    scales = channel_scales(clusters, schemes)
+    codes = quantize_codes(clusters, schemes, scales)
+    assert codes[0, 0].tolist() == [3, 0, 1]
+
+
+def test_quantize_codes_clips_2bit_to_unit():
+    clusters = np.array([[[0.9, 0.5, 0.4]]])     # normal cluster
+    schemes = np.zeros((1, 1), dtype=np.int64)
+    scales = np.full((1, 1, 1), 0.3)
+    codes = quantize_codes(clusters, schemes, scales)
+    assert codes.max() == 1                      # clipped to {-1, 0, 1}
+
+
+def test_harmonize_agreeing_pair_untouched():
+    clusters = np.array([[[0.1, 0.1, 0.1], [0.2, 0.2, 0.2]]])
+    schemes = np.zeros((1, 2), dtype=np.int64)
+    scales = channel_scales(clusters, schemes)
+    assert harmonize_pairs(clusters, schemes, scales).tolist() == [[0, 0]]
+
+
+def test_harmonize_resolves_disagreement_to_single_scheme():
+    weights = np.array([[0.17, 0.12, 0.01, 0.01, 0.24, 0.03]])
+    clusters, _ = cluster_weights(weights)
+    schemes = initial_schemes(clusters)
+    assert schemes[0, 0] != schemes[0, 1]        # '11' vs '01'
+    scales = channel_scales(clusters, schemes)
+    harmonized = harmonize_pairs(clusters, schemes, scales)
+    assert harmonized[0, 0] == harmonized[0, 1]
+
+
+def test_harmonize_picks_error_minimiser():
+    weights = np.array([[0.17, 0.12, 0.01, 0.01, 0.24, 0.03]])
+    clusters, _ = cluster_weights(weights)
+    schemes = initial_schemes(clusters)
+    scales = channel_scales(clusters, schemes)
+    harmonized = harmonize_pairs(clusters, schemes, scales)
+    errors = scheme_reconstruction_error(clusters, scales)
+    pair_error = errors[:, 0, 0] + errors[:, 0, 1]
+    assert harmonized[0, 0] == int(pair_error.argmin())
+
+
+def test_harmonize_odd_trailing_cluster_kept():
+    weights = np.random.default_rng(0).standard_normal((2, 9))
+    clusters, _ = cluster_weights(weights)
+    schemes = initial_schemes(clusters)
+    scales = channel_scales(clusters, schemes)
+    harmonized = harmonize_pairs(clusters, schemes, scales)
+    # First two clusters are paired; the third keeps its own scheme.
+    assert (harmonized[:, 2] == schemes[:, 2]).all()
+    assert (harmonized[:, 0] == harmonized[:, 1]).all()
+
+
+def test_reconstruction_error_shape():
+    clusters = np.random.default_rng(0).standard_normal((4, 5, 3))
+    scales = np.ones((4, 1, 1))
+    errors = scheme_reconstruction_error(clusters, scales)
+    assert errors.shape == (4, 4, 5)
+    assert (errors >= 0).all()

@@ -1,0 +1,75 @@
+"""Generalised FineQ (ablation variant) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import FineQQuantizer
+from repro.core.generalized import GeneralizedFineQ
+
+
+def rel_error(dequantized, weight):
+    return float(((dequantized - weight) ** 2).sum() / (weight ** 2).sum())
+
+
+def test_paper_point_close_to_reference(gaussian_weight):
+    """At cluster 3 / 4x / 3b, the generalised path tracks FineQ closely."""
+    reference, ref_record = FineQQuantizer().quantize_weight(gaussian_weight)
+    general, gen_record = GeneralizedFineQ().quantize_weight(gaussian_weight)
+    assert abs(rel_error(general, gaussian_weight)
+               - rel_error(reference, gaussian_weight)) < 0.05
+    assert abs(gen_record.avg_bits - ref_record.avg_bits) < 0.2
+
+
+def test_fp16_protection_never_worse(gaussian_weight):
+    three_bit, _ = GeneralizedFineQ(protect_bits=3).quantize_weight(
+        gaussian_weight)
+    fp16, _ = GeneralizedFineQ(protect_bits=16).quantize_weight(
+        gaussian_weight)
+    assert rel_error(fp16, gaussian_weight) <= rel_error(
+        three_bit, gaussian_weight) + 1e-9
+
+
+def test_fp16_protection_costs_many_bits(gaussian_weight):
+    _, rec3 = GeneralizedFineQ(protect_bits=3).quantize_weight(gaussian_weight)
+    _, rec16 = GeneralizedFineQ(protect_bits=16).quantize_weight(gaussian_weight)
+    assert rec16.avg_bits > rec3.avg_bits + 1.0
+
+
+def test_smaller_clusters_cost_more_index_bits(gaussian_weight):
+    _, rec2 = GeneralizedFineQ(cluster_size=2).quantize_weight(gaussian_weight)
+    _, rec3 = GeneralizedFineQ(cluster_size=3).quantize_weight(gaussian_weight)
+    _, rec6 = GeneralizedFineQ(cluster_size=6).quantize_weight(gaussian_weight)
+    assert rec2.avg_bits > rec3.avg_bits
+    assert rec6.avg_bits <= rec3.avg_bits + 1e-9
+
+
+def test_threshold_controls_outlier_rate(gaussian_weight):
+    _, strict = GeneralizedFineQ(outlier_ratio=2.0).quantize_weight(
+        gaussian_weight)
+    _, lax = GeneralizedFineQ(outlier_ratio=8.0).quantize_weight(
+        gaussian_weight)
+    assert (strict.detail["outlier_cluster_ratio"]
+            > lax.detail["outlier_cluster_ratio"])
+
+
+def test_harmonize_flag_changes_allocation(gaussian_weight):
+    _, on = GeneralizedFineQ(harmonize=True).quantize_weight(gaussian_weight)
+    _, off = GeneralizedFineQ(harmonize=False).quantize_weight(gaussian_weight)
+    assert on.detail["harmonize"] != off.detail["harmonize"]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        GeneralizedFineQ(cluster_size=1)
+    with pytest.raises(ValueError):
+        GeneralizedFineQ(protect_bits=5)
+    with pytest.raises(ValueError):
+        GeneralizedFineQ(channel_axis="both")
+
+
+def test_shape_preserved_odd_sizes():
+    weight = np.random.default_rng(0).standard_normal((7, 11))
+    for size in (2, 3, 6):
+        dequantized, _ = GeneralizedFineQ(cluster_size=size).quantize_weight(
+            weight)
+        assert dequantized.shape == weight.shape

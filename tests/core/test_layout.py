@@ -1,0 +1,46 @@
+"""Serving-memory layout tests."""
+
+import numpy as np
+
+from repro.core.layout import serving_memory_layout, _parameter_count
+from repro.models.configs import zoo_config, tiny_config
+from repro.nn import TransformerLM
+
+
+def test_fractions_sum_to_one():
+    layout = serving_memory_layout(zoo_config("llama-sim-13b"),
+                                   batch=2, seq_len=128)
+    assert np.isclose(sum(layout.fractions.values()), 1.0)
+
+
+def test_parameter_count_matches_model():
+    config = tiny_config()
+    model = TransformerLM(config)
+    assert _parameter_count(config) == model.num_parameters()
+
+
+def test_model_and_config_paths_agree():
+    config = tiny_config()
+    model = TransformerLM(config)
+    from_model = serving_memory_layout(model, batch=1, seq_len=32)
+    from_config = serving_memory_layout(config, batch=1, seq_len=32)
+    assert from_model.weight_bytes == from_config.weight_bytes
+    assert from_model.kv_cache_bytes == from_config.kv_cache_bytes
+
+
+def test_fineq_bits_shrink_weight_pool():
+    config = zoo_config("llama-sim-13b")
+    fp16 = serving_memory_layout(config, batch=2, seq_len=128,
+                                 weight_bits=16.0)
+    fineq = serving_memory_layout(config, batch=2, seq_len=128,
+                                  weight_bits=7 * 8 / 24)
+    assert fineq.weight_bytes < fp16.weight_bytes / 6
+    assert fineq.kv_cache_bytes == fp16.kv_cache_bytes
+    assert fineq.fractions["weights"] < fp16.fractions["weights"]
+
+
+def test_kv_scales_with_batch_and_seq():
+    config = zoo_config("llama-sim-7b")
+    small = serving_memory_layout(config, batch=1, seq_len=64)
+    large = serving_memory_layout(config, batch=2, seq_len=128)
+    assert large.kv_cache_bytes == 4 * small.kv_cache_bytes

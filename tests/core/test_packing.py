@@ -1,0 +1,75 @@
+"""Packed-format round-trip tests, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FineQQuantizer, pack_matrix, unpack_matrix
+from repro.core.packing import GROUP_BYTES, CLUSTERS_PER_GROUP
+
+
+def _pack_roundtrip(weight: np.ndarray):
+    quantizer = FineQQuantizer(channel_axis="output")
+    dequantized, artifacts = quantizer.quantize_with_artifacts(weight)
+    packed = pack_matrix(artifacts["codes"], artifacts["schemes"],
+                         artifacts["scales"], weight.shape)
+    codes, schemes, unpacked = unpack_matrix(packed)
+    return artifacts, packed, codes, schemes, unpacked, dequantized
+
+
+def test_roundtrip_codes_exact(gaussian_weight):
+    artifacts, _, codes, schemes, _, _ = _pack_roundtrip(gaussian_weight)
+    assert np.array_equal(codes, artifacts["codes"])
+    assert np.array_equal(schemes, artifacts["schemes"])
+
+
+def test_roundtrip_dequantized_fp16_scale_tolerance(gaussian_weight):
+    _, _, _, _, unpacked, dequantized = _pack_roundtrip(gaussian_weight)
+    # Scales are stored FP16, so reconstruction matches to FP16 precision.
+    np.testing.assert_allclose(unpacked, dequantized, rtol=2e-3, atol=2e-3)
+
+
+def test_group_layout_seven_bytes_per_24_weights():
+    weight = np.random.default_rng(0).standard_normal((4, 24))
+    _, packed, *_ = _pack_roundtrip(weight)
+    # 24 weights = 8 clusters = 1 group of GROUP_BYTES.
+    assert packed.payload.shape == (4, GROUP_BYTES)
+    assert packed.total_bytes == 4 * GROUP_BYTES + 2 * 4
+
+
+def test_bits_per_weight_approaches_paper_for_wide_rows():
+    weight = np.random.default_rng(1).standard_normal((8, 768))
+    _, packed, *_ = _pack_roundtrip(weight)
+    # 7 bytes / 24 weights = 2.333 bits + FP16 scale amortised.
+    assert 2.33 < packed.bits_per_weight < 2.45
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=st.integers(1, 7), cols=st.integers(1, 40),
+       seed=st.integers(0, 10_000))
+def test_roundtrip_property(rows, cols, seed):
+    weight = np.random.default_rng(seed).standard_normal((rows, cols))
+    artifacts, _, codes, schemes, _, _ = _pack_roundtrip(weight)
+    assert np.array_equal(codes, artifacts["codes"])
+    assert np.array_equal(schemes, artifacts["schemes"])
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), scale=st.floats(1e-3, 1e3))
+def test_roundtrip_scale_invariance(seed, scale):
+    weight = np.random.default_rng(seed).standard_normal((3, 21)) * scale
+    artifacts, _, codes, _, _, _ = _pack_roundtrip(weight)
+    assert np.array_equal(codes, artifacts["codes"])
+
+
+def test_unpack_restores_original_shape():
+    weight = np.random.default_rng(2).standard_normal((5, 17))
+    _, packed, _, _, unpacked, _ = _pack_roundtrip(weight)
+    assert unpacked.shape == weight.shape
+
+
+def test_payload_groups_are_multiple_of_group_bytes(gaussian_weight):
+    _, packed, *_ = _pack_roundtrip(gaussian_weight)
+    assert packed.payload.shape[1] % GROUP_BYTES == 0
+    groups = packed.payload.shape[1] // GROUP_BYTES
+    assert groups * CLUSTERS_PER_GROUP >= packed.num_clusters

@@ -1,0 +1,100 @@
+"""FineQ quantizer end-to-end tests, including the paper's Fig. 4."""
+
+import numpy as np
+import pytest
+
+from repro.core import FineQQuantizer
+
+FIG4_WEIGHTS = np.array([
+    [0.10, 0.12, 0.11, 0.12, 0.13, 0.04],
+    [0.27, 0.03, 0.11, 0.19, 0.01, 0.16],
+    [0.04, 0.02, 0.04, 0.04, 0.04, 0.03],
+    [0.17, 0.12, 0.01, 0.01, 0.24, 0.03],
+])
+
+
+@pytest.fixture
+def fig4_artifacts():
+    quantizer = FineQQuantizer(channel_axis="output")  # rows are channels
+    return quantizer.quantize_with_artifacts(FIG4_WEIGHTS)
+
+
+def test_paper_fig4_schemes(fig4_artifacts):
+    _, artifacts = fig4_artifacts
+    # Paper step 5 encoding column: 00, 10, 00, 11.
+    assert artifacts["schemes"].tolist() == [[0, 0], [2, 2], [0, 0], [3, 3]]
+
+
+def test_paper_fig4_scales(fig4_artifacts):
+    _, artifacts = fig4_artifacts
+    np.testing.assert_allclose(artifacts["scales"],
+                               [0.13, 0.09, 0.04, 0.08], atol=1e-9)
+
+
+def test_paper_fig4_codes(fig4_artifacts):
+    _, artifacts = fig4_artifacts
+    codes = artifacts["codes"].reshape(4, 6).tolist()
+    # Matches the paper's step-4 matrix except the figure's (3,3) entry,
+    # which is inconsistent with its own '11' encoding (see DESIGN.md).
+    assert codes[0] == [1, 1, 1, 1, 1, 0]
+    assert codes[1] == [3, 0, 1, 2, 0, 2]
+    assert codes[2] == [1, 1, 1, 1, 1, 1]
+    assert codes[3] == [2, 2, 0, 0, 3, 0]
+
+
+def test_avg_bits_close_to_paper(gaussian_weight):
+    _, record = FineQQuantizer().quantize_weight(gaussian_weight)
+    # 2.33 payload+index; scales amortise over channels.
+    assert 2.3 < record.avg_bits < 2.6
+    assert np.isclose(record.bits_payload, 2.0, atol=0.11)
+
+
+def test_dequantized_shape_and_dtype(gaussian_weight):
+    dequantized, _ = FineQQuantizer().quantize_weight(gaussian_weight)
+    assert dequantized.shape == gaussian_weight.shape
+    assert dequantized.dtype == np.float32
+
+
+def test_input_axis_absorbs_column_outliers(gaussian_weight):
+    """Per-input-channel scales must isolate the planted outlier columns."""
+    input_axis, _ = FineQQuantizer(channel_axis="input").quantize_weight(
+        gaussian_weight)
+    output_axis, _ = FineQQuantizer(channel_axis="output").quantize_weight(
+        gaussian_weight)
+    def rel_err(dq):
+        return float(((dq - gaussian_weight) ** 2).sum()
+                     / (gaussian_weight ** 2).sum())
+    assert rel_err(input_axis) < rel_err(output_axis)
+
+
+def test_outlier_ratio_threshold_configurable(gaussian_weight):
+    strict, _ = FineQQuantizer(outlier_ratio=2.0).quantize_weight(gaussian_weight)
+    lax_q = FineQQuantizer(outlier_ratio=100.0)
+    _, artifacts = lax_q.quantize_with_artifacts(gaussian_weight)
+    # With an absurdly high threshold almost nothing is an outlier cluster.
+    assert (artifacts["schemes"] > 0).mean() < 0.05
+
+
+def test_rejects_non_paper_cluster_size():
+    with pytest.raises(ValueError):
+        FineQQuantizer(cluster_size=4)
+
+
+def test_rejects_bad_axis():
+    with pytest.raises(ValueError):
+        FineQQuantizer(channel_axis="diagonal")
+
+
+def test_idempotent_on_already_quantized(gaussian_weight):
+    """Quantizing a dequantized matrix again must be (near-)lossless."""
+    quantizer = FineQQuantizer()
+    first, _ = quantizer.quantize_weight(gaussian_weight)
+    second, _ = quantizer.quantize_weight(first)
+    err = float(((second - first) ** 2).sum() / (first ** 2).sum())
+    assert err < 0.02
+
+
+def test_zero_matrix():
+    dequantized, record = FineQQuantizer().quantize_weight(np.zeros((6, 9)))
+    assert (dequantized == 0).all()
+    assert record.avg_bits > 0

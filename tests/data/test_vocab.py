@@ -1,0 +1,27 @@
+"""Vocabulary helper tests."""
+
+import numpy as np
+
+from repro.data.vocab import zipf_choice, proper_noun, ADJECTIVES
+
+
+def test_zipf_choice_skews_to_head():
+    rng = np.random.default_rng(0)
+    samples = zipf_choice(rng, ADJECTIVES, 5000)
+    counts = {word: samples.count(word) for word in set(samples)}
+    head = counts.get(ADJECTIVES[0], 0)
+    tail = counts.get(ADJECTIVES[-1], 0)
+    assert head > 3 * max(tail, 1)
+
+
+def test_zipf_choice_deterministic_per_seed():
+    a = zipf_choice(np.random.default_rng(7), ADJECTIVES, 50)
+    b = zipf_choice(np.random.default_rng(7), ADJECTIVES, 50)
+    assert a == b
+
+
+def test_proper_noun_composition():
+    rng = np.random.default_rng(1)
+    names = {proper_noun(rng) for _ in range(50)}
+    assert len(names) > 20          # combinatorial variety
+    assert all(name.islower() and name.isalpha() for name in names)

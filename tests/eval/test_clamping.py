@@ -1,0 +1,36 @@
+"""Perplexity clamping and edge-case behaviour."""
+
+import numpy as np
+
+from repro.autograd.functional import nll_per_token
+from repro.eval.perplexity import perplexity
+from repro.models.configs import tiny_config
+from repro.nn import TransformerLM
+
+
+def test_perplexity_clamped_at_display_cap():
+    """Catastrophic models saturate instead of overflowing (paper tables
+    display values like 6.3E+6)."""
+    model = TransformerLM(tiny_config(vocab_size=64, seed=0))
+    # Destroy the model: huge weights produce extreme logits.
+    for _, layer in model.quantizable_linears():
+        layer.weight.data *= 1e4
+    stream = np.random.default_rng(0).integers(0, 64, size=4000)
+    value = perplexity(model, stream, seq_len=32)
+    assert np.isfinite(value)
+    assert value <= np.exp(30.0)
+
+
+def test_nll_per_token_shapes():
+    logits = np.zeros((2, 5, 8), dtype=np.float32)
+    targets = np.zeros((2, 5), dtype=np.int64)
+    nll = nll_per_token(logits, targets)
+    assert nll.shape == (2, 5)
+    np.testing.assert_allclose(nll, np.log(8.0), atol=1e-6)
+
+
+def test_perplexity_max_tokens_truncates():
+    model = TransformerLM(tiny_config(vocab_size=64, seed=1))
+    stream = np.random.default_rng(1).integers(0, 64, size=50_000)
+    short = perplexity(model, stream, seq_len=32, max_tokens=2_000)
+    assert np.isfinite(short)

@@ -1,0 +1,74 @@
+"""Perplexity harness and sweep tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import WordTokenizer
+from repro.eval import (perplexity, clone_model, quantized_perplexity,
+                        run_method_sweep)
+from repro.eval.perplexity import eval_stream
+from repro.eval.tables import format_table, format_markdown, format_number
+from repro.models.configs import tiny_config
+from repro.nn import TransformerLM
+
+
+def test_perplexity_of_untrained_model_near_vocab(tiny_model, tiny_stream):
+    """An untrained model is near-uniform: PPL ~ vocab size."""
+    untrained = TransformerLM(tiny_config(vocab_size=256, seed=77))
+    ppl = perplexity(untrained, tiny_stream[:4000], seq_len=64)
+    assert 100 < ppl < 600
+
+
+def test_trained_model_much_better_than_chance(tiny_model, tiny_stream):
+    ppl = perplexity(tiny_model, tiny_stream[:4000], seq_len=64)
+    assert ppl < 40
+
+
+def test_perplexity_requires_enough_tokens(tiny_model):
+    with pytest.raises(ValueError):
+        perplexity(tiny_model, np.arange(10), seq_len=64)
+
+
+def test_eval_stream_disjoint_from_training(tiny_tokenizer):
+    a = eval_stream(tiny_tokenizer, "wikitext-sim")
+    b = eval_stream(tiny_tokenizer, "c4-sim")
+    assert len(a) > 1000 and len(b) > 1000
+    assert not np.array_equal(a[:100], b[:100])
+
+
+def test_clone_model_independent(tiny_model):
+    clone = clone_model(tiny_model)
+    clone.blocks[0].ffn.up.weight.data[:] = 0.0
+    assert not np.allclose(tiny_model.blocks[0].ffn.up.weight.data, 0.0)
+
+
+def test_quantized_perplexity_fp16_reference(tiny_model, tiny_tokenizer):
+    result, report = quantized_perplexity(
+        tiny_model, tiny_tokenizer, "fp16", ("wikitext-sim",), seq_len=64,
+        max_tokens=3000)
+    assert report is None
+    assert result.avg_bits == 16.0
+    assert result.perplexity["wikitext-sim"] > 1.0
+
+
+def test_method_sweep_ordering(tiny_model, tiny_tokenizer):
+    """The paper's headline ordering on the tiny substrate."""
+    methods = [("fp16", None), ("rtn", {"bits": 2}), ("fineq", None)]
+    results = run_method_sweep(tiny_model, tiny_tokenizer, methods,
+                               datasets=("wikitext-sim",), seq_len=64,
+                               max_tokens=3000)
+    by_method = {r.method: r.perplexity["wikitext-sim"] for r in results}
+    assert by_method["fp16"] < by_method["fineq"] < by_method["rtn"]
+
+
+def test_format_number_scientific_for_huge():
+    assert "E+" in format_number(7.4e5)
+    assert format_number(12.345) == "12.35"
+
+
+def test_format_table_and_markdown():
+    text = format_table(["a", "b"], [[1, 2.5], ["x", 1e6]], title="T")
+    assert "T" in text and "x" in text
+    md = format_markdown(["a"], [[3.14159]])
+    assert md.startswith("| a |")
+    assert "3.14" in md

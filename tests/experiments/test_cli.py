@@ -1,0 +1,23 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "llama-sim-7b" in out
+    assert "fineq" in out
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["quantize"])
+    assert args.model == "llama-sim-7b"
+    assert args.method == "fineq"
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])

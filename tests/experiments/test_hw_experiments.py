@@ -1,0 +1,45 @@
+"""Fast tests for the analytic (hardware-side) experiment modules."""
+
+import numpy as np
+
+from repro.experiments import table3, fig8, fig9, fig2b
+
+
+def test_table3_matches_paper():
+    result = table3.run()
+    paper = result.meta["paper"]
+    row = result.row_by("Architecture", "FineQ PE Array")
+    assert np.isclose(row[2], paper["fineq_pe_array"]["area_mm2"], atol=1e-3)
+    assert np.isclose(result.meta["area_reduction"],
+                      result.meta["paper_area_reduction"], atol=0.01)
+
+
+def test_table3_scales_to_other_arrays():
+    small = table3.run(rows=32, cols=32)
+    big = table3.run(rows=64, cols=64)
+    assert (small.row_by("Architecture", "Systolic Array")[2]
+            < big.row_by("Architecture", "Systolic Array")[2])
+
+
+def test_fig8_split_sums_to_one():
+    result = fig8.run()
+    assert np.isclose(sum(result.meta["split"].values()), 1.0)
+
+
+def test_fig9_rows_cover_zoo():
+    result = fig9.run(seq_lengths=(32, 64))
+    assert len(result.rows) == 3
+    assert result.meta["overall_mean"] > 1.0
+
+
+def test_fig2b_paper_band():
+    result = fig2b.run()
+    fp16 = result.row_by("Weights", "FP16")
+    assert 55 <= fp16[4] <= 75
+
+
+def test_experiment_result_helpers():
+    result = table3.run()
+    assert "Systolic" in result.to_text()
+    assert result.to_markdown().startswith("|")
+    assert len(result.column("Architecture")) == 3

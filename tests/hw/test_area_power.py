@@ -1,0 +1,67 @@
+"""Area/power model: Table III calibration and scaling behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.hw.area_power import (AreaPowerModel, TABLE3_REFERENCE,
+                                 FIG8_POWER_SPLIT)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaPowerModel()
+
+
+def test_systolic_matches_table3(model):
+    block = model.systolic_array(64, 64)
+    assert np.isclose(block.area_mm2,
+                      TABLE3_REFERENCE["systolic_array"]["area_mm2"], rtol=1e-6)
+    assert np.isclose(block.power_mw,
+                      TABLE3_REFERENCE["systolic_array"]["power_mw"], rtol=1e-6)
+
+
+def test_fineq_array_matches_table3(model):
+    block = model.fineq_pe_array(64, 64)
+    assert np.isclose(block.area_mm2,
+                      TABLE3_REFERENCE["fineq_pe_array"]["area_mm2"], rtol=1e-6)
+    assert np.isclose(block.power_mw,
+                      TABLE3_REFERENCE["fineq_pe_array"]["power_mw"], rtol=1e-6)
+
+
+def test_decoder_matches_table3(model):
+    block = model.decoder_bank(64)
+    assert np.isclose(block.area_mm2,
+                      TABLE3_REFERENCE["fineq_decoder"]["area_mm2"], rtol=1e-6)
+    assert np.isclose(block.power_mw,
+                      TABLE3_REFERENCE["fineq_decoder"]["power_mw"], rtol=1e-6)
+
+
+def test_paper_area_reduction(model):
+    """The paper's headline: 61.2% systolic-array area reduction."""
+    assert np.isclose(model.area_reduction(), 0.612, atol=0.005)
+
+
+def test_paper_power_reduction(model):
+    """The paper reports a 62.9% power reduction."""
+    assert np.isclose(model.power_reduction(), 0.629, atol=0.01)
+
+
+def test_fig8_power_split(model):
+    split = model.fineq_power_breakdown()
+    for key, value in FIG8_POWER_SPLIT.items():
+        assert np.isclose(split[key], value, atol=1e-6)
+    assert np.isclose(sum(split.values()), 1.0)
+
+
+def test_area_scales_with_array_size(model):
+    small = model.fineq_pe_array(32, 32)
+    large = model.fineq_pe_array(128, 128)
+    assert large.area_mm2 > 4 * small.area_mm2 * 0.9
+    assert large.power_mw > small.power_mw
+
+
+def test_clock_scaling():
+    slow = AreaPowerModel(clock_mhz=200).systolic_array()
+    fast = AreaPowerModel(clock_mhz=400).systolic_array()
+    assert np.isclose(slow.power_mw * 2, fast.power_mw)
+    assert np.isclose(slow.area_mm2, fast.area_mm2)  # area is clock-free

@@ -1,0 +1,89 @@
+"""Temporal-coding PE array: exactness and cycle accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import TemporalCodingArray, temporal_matmul
+
+
+def test_paper_fig7_example():
+    """The walking example of Fig. 7: weights (1,1,2,2) over the inputs."""
+    weights = np.array([[1, 1, 2, 2]])
+    activations = np.array([[8, 7], [4, 9], [9, 1], [5, 3]])
+    result = temporal_matmul(weights, activations)
+    # Paper: after cycle 1 partials are (21, 25) offsets...; final row
+    # equals the exact product (35, 29) pattern for their full input.
+    assert np.array_equal(result.output, weights @ activations)
+    assert result.cycles == 2  # max magnitude 2 -> two cycles
+
+
+def test_fig7_full_example():
+    """Full 1x4 @ 4x4 matrix from Fig. 7 bottom: result (35, 29, 26, 37)."""
+    weights = np.array([[1, 1, 2, 2]])
+    activations = np.array([[8, 7, 12, 10], [4, 9, 12, 1],
+                            [9, 1, 5, 3], [5, 3, 8, 1]]).T
+    # Use the paper's X orientation: columns are outputs.
+    activations = np.array([[8, 4, 9, 5], [7, 9, 1, 3],
+                            [12, 12, 5, 8], [10, 1, 3, 1]]).T
+    expected = weights @ activations
+    result = temporal_matmul(weights, activations)
+    assert np.array_equal(result.output, expected)
+
+
+def test_negative_weights_exact():
+    weights = np.array([[-3, 2, 0, -1], [1, -2, 3, 0]])
+    activations = np.random.default_rng(0).standard_normal((4, 5))
+    result = temporal_matmul(weights, activations)
+    np.testing.assert_allclose(result.output, weights @ activations,
+                               atol=1e-12)
+
+
+def test_early_termination_cycles():
+    all_ones = temporal_matmul(np.ones((4, 8), dtype=int), np.ones((8, 2)))
+    assert all_ones.cycles == 4          # 1 cycle per row
+    with_three = temporal_matmul(np.full((4, 8), 3, dtype=int), np.ones((8, 2)))
+    assert with_three.cycles == 12       # 3 cycles per row
+
+
+def test_zero_row_still_costs_a_cycle():
+    result = temporal_matmul(np.zeros((2, 4), dtype=int), np.ones((4, 2)))
+    assert result.cycles == 2
+
+
+def test_rejects_magnitude_overflow():
+    with pytest.raises(ValueError):
+        temporal_matmul(np.array([[4]]), np.ones((1, 1)))
+
+
+def test_rejects_shape_mismatch():
+    with pytest.raises(ValueError):
+        temporal_matmul(np.ones((2, 3), dtype=int), np.ones((4, 2)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=st.integers(1, 6), k=st.integers(1, 130), n=st.integers(1, 5),
+       seed=st.integers(0, 1000))
+def test_tiled_array_matches_exact_matmul(m, k, n, seed):
+    gen = np.random.default_rng(seed)
+    weights = gen.integers(-3, 4, size=(m, k))
+    activations = gen.standard_normal((k, n))
+    result = TemporalCodingArray(64, 64).run(weights, activations)
+    np.testing.assert_allclose(result.output, weights @ activations,
+                               atol=1e-9)
+
+
+def test_compute_cycles_matches_run():
+    gen = np.random.default_rng(7)
+    weights = gen.integers(-3, 4, size=(9, 130))
+    activations = gen.standard_normal((130, 3))
+    array = TemporalCodingArray(64, 64)
+    run_cycles = array.run(weights, activations).cycles
+    assert array.compute_cycles(np.abs(weights)) == run_cycles
+
+
+def test_cycles_bounded_one_to_three_per_row_chunk():
+    gen = np.random.default_rng(8)
+    weights = gen.integers(-3, 4, size=(10, 64))
+    cycles = TemporalCodingArray(64, 64).compute_cycles(np.abs(weights))
+    assert 10 <= cycles <= 30

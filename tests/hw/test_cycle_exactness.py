@@ -1,0 +1,32 @@
+"""Property: the cycle estimate brackets the exact code-based count."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.cycle_model import simulate_gemm
+from repro.hw.workloads import GEMMShape
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=st.integers(8, 128), k=st.integers(8, 200), seed=st.integers(0, 500))
+def test_exact_cycles_within_1x_to_3x_baseline(m, k, seed):
+    shape = GEMMShape("g", m=m, k=k, n=32)
+    gen = np.random.default_rng(seed)
+    mags = gen.integers(0, 4, size=(m, k))
+    fineq = simulate_gemm(shape, "fineq", code_magnitudes=mags)
+    baseline = simulate_gemm(shape, "baseline")
+    assert (baseline.stage_cycles["matmul"]
+            <= fineq.stage_cycles["matmul"]
+            <= 3 * baseline.stage_cycles["matmul"])
+
+
+@settings(max_examples=20, deadline=None)
+@given(ratio=st.floats(0.0, 1.0))
+def test_estimate_monotone_in_outlier_ratio(ratio):
+    shape = GEMMShape("g", m=64, k=64, n=64)
+    low = simulate_gemm(shape, "fineq", outlier_cluster_ratio=0.0)
+    mid = simulate_gemm(shape, "fineq", outlier_cluster_ratio=ratio)
+    high = simulate_gemm(shape, "fineq", outlier_cluster_ratio=1.0)
+    assert (low.stage_cycles["matmul"]
+            <= mid.stage_cycles["matmul"]
+            <= high.stage_cycles["matmul"])

@@ -1,0 +1,68 @@
+"""Cycle-level pipeline model tests."""
+
+import numpy as np
+import pytest
+
+from repro.hw.cycle_model import (PipelineConfig, simulate_gemm,
+                                  FINEQ_BITS_PER_WEIGHT)
+from repro.hw.workloads import GEMMShape
+
+
+SHAPE = GEMMShape("ffn.up", m=512, k=128, n=128)
+
+
+def test_fineq_bits_constant_is_paper_layout():
+    assert np.isclose(FINEQ_BITS_PER_WEIGHT, 7 * 8 / 24)
+
+
+def test_baseline_stages_positive():
+    report = simulate_gemm(SHAPE, "baseline")
+    assert report.stage_cycles["decode"] == 0
+    for stage, cycles in report.stage_cycles.items():
+        if stage != "decode":
+            assert cycles > 0, stage
+
+
+def test_fineq_dma_lighter_than_baseline():
+    baseline = simulate_gemm(SHAPE, "baseline")
+    fineq = simulate_gemm(SHAPE, "fineq")
+    assert fineq.stage_cycles["dma_in"] < baseline.stage_cycles["dma_in"]
+    assert fineq.stage_cycles["decode"] > 0
+
+
+def test_fineq_matmul_cycles_between_1x_and_3x_baseline():
+    baseline = simulate_gemm(SHAPE, "baseline")
+    fineq = simulate_gemm(SHAPE, "fineq")
+    assert (baseline.stage_cycles["matmul"]
+            <= fineq.stage_cycles["matmul"]
+            <= 3 * baseline.stage_cycles["matmul"])
+
+
+def test_exact_code_path_matches_range():
+    gen = np.random.default_rng(0)
+    mags = gen.integers(0, 2, size=(SHAPE.m, SHAPE.k))  # all-2-bit codes
+    report = simulate_gemm(SHAPE, "fineq", code_magnitudes=mags)
+    baseline = simulate_gemm(SHAPE, "baseline")
+    # All magnitudes <= 1: temporal matmul should cost ~1 cycle per row.
+    assert report.stage_cycles["matmul"] == baseline.stage_cycles["matmul"]
+
+
+def test_outlier_ratio_increases_matmul_cycles():
+    low = simulate_gemm(SHAPE, "fineq", outlier_cluster_ratio=0.01)
+    high = simulate_gemm(SHAPE, "fineq", outlier_cluster_ratio=0.5)
+    assert high.stage_cycles["matmul"] > low.stage_cycles["matmul"]
+
+
+def test_total_cycles_at_least_bottleneck():
+    report = simulate_gemm(SHAPE, "baseline")
+    assert report.total_cycles >= max(report.stage_cycles.values())
+
+
+def test_unknown_design_rejected():
+    with pytest.raises(ValueError):
+        simulate_gemm(SHAPE, "tpu")
+
+
+def test_runtime_scales_with_clock():
+    report = simulate_gemm(SHAPE, "baseline")
+    assert report.runtime_us(400) * 2 == pytest.approx(report.runtime_us(200))

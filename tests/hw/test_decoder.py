@@ -1,0 +1,50 @@
+"""Decoder tests: packed-stream decode equals the software unpacker."""
+
+import numpy as np
+import pytest
+
+from repro.core import FineQQuantizer, pack_matrix
+from repro.hw import FineQStreamDecoder, TemporalCodingArray
+
+
+@pytest.fixture(scope="module")
+def packed_and_artifacts():
+    weight = np.random.default_rng(3).standard_normal((32, 48))
+    quantizer = FineQQuantizer(channel_axis="output")
+    dequantized, artifacts = quantizer.quantize_with_artifacts(weight)
+    packed = pack_matrix(artifacts["codes"], artifacts["schemes"],
+                         artifacts["scales"], weight.shape)
+    return packed, artifacts, dequantized
+
+
+def test_decode_matches_quantizer_codes(packed_and_artifacts):
+    packed, artifacts, _ = packed_and_artifacts
+    result = FineQStreamDecoder().decode(packed)
+    assert np.array_equal(result.codes, artifacts["codes"])
+    assert np.array_equal(result.schemes, artifacts["schemes"])
+
+
+def test_decode_then_temporal_matmul_equals_dequantized_matmul(
+        packed_and_artifacts):
+    """Integration: memory format -> decoder -> PE array == software."""
+    packed, artifacts, dequantized = packed_and_artifacts
+    result = FineQStreamDecoder().decode(packed)
+    activations = np.random.default_rng(4).standard_normal((48, 5))
+    codes_flat = result.codes.reshape(result.codes.shape[0], -1)[:, :48]
+    hw_out = TemporalCodingArray().run(codes_flat, activations).output
+    hw_scaled = hw_out * packed.scales.astype(np.float64)[:, None]
+    sw_out = dequantized.astype(np.float64) @ activations
+    np.testing.assert_allclose(hw_scaled, sw_out, rtol=2e-3, atol=1e-3)
+
+
+def test_decode_cycles_throughput(packed_and_artifacts):
+    packed, artifacts, _ = packed_and_artifacts
+    decoder = FineQStreamDecoder(num_decoders=64)
+    cycles = decoder.decode_cycles(packed)
+    total_clusters = packed.payload.shape[0] * packed.payload.shape[1] // 7 * 8
+    assert cycles == -(-total_clusters // 64)
+
+
+def test_decoder_bank_size_validation():
+    with pytest.raises(ValueError):
+        FineQStreamDecoder(num_decoders=0)

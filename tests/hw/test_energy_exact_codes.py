@@ -1,0 +1,28 @@
+"""Exact-code energy path: joins repro.hw.codes onto the GEMM trace."""
+
+import numpy as np
+
+from repro.hw import EnergyModel, model_code_magnitudes, model_gemms
+from repro.hw.energy import energy_efficiency
+
+
+def test_exact_codes_join_trace_names(tiny_model):
+    mags = model_code_magnitudes(tiny_model)
+    names = {g.name for g in model_gemms(tiny_model.config, 16)}
+    assert names <= set(mags)
+
+
+def test_efficiency_with_exact_codes_in_band(tiny_model):
+    mags = model_code_magnitudes(tiny_model)
+    value = energy_efficiency(tiny_model.config, 32, code_magnitudes=mags)
+    assert 1.0 < value < 4.0
+
+
+def test_exact_path_changes_cycle_count(tiny_model):
+    model = EnergyModel()
+    mags = model_code_magnitudes(tiny_model)
+    exact = model.model_energy(tiny_model.config, 32, "fineq",
+                               code_magnitudes=mags)
+    estimate = model.model_energy(tiny_model.config, 32, "fineq")
+    assert exact.cycles != estimate.cycles or np.isclose(
+        exact.total_uj, estimate.total_uj, rtol=0.2)

@@ -1,0 +1,35 @@
+"""Cycle-accurate PE / ACC toy-model tests."""
+
+import numpy as np
+
+from repro.hw.pe import ProcessingElement, AccumulatorUnit
+from repro.hw.temporal import TemporalEncoder
+
+
+def test_pe_select_behaviour():
+    pe = ProcessingElement(activation=2.5)
+    assert pe.step(1) == 2.5
+    assert pe.step(0) == 0.0
+    pe.load(-1.5)
+    assert pe.step(1) == -1.5
+
+
+def test_acc_sign_and_accumulate():
+    acc = AccumulatorUnit()
+    assert acc.step(np.array([1.0, 2.0]), sign=+1) == 3.0
+    assert acc.step(np.array([1.0, 1.0]), sign=-1) == 1.0
+    acc.reset()
+    assert acc.value == 0.0
+
+
+def test_pe_row_with_temporal_encoder_computes_dot_product():
+    """One PE row + encoder + ACC reproduces w * x for scalar weight."""
+    weight_mag, weight_sign = 3, -1
+    activation = 1.25
+    pe = ProcessingElement(activation)
+    encoder = TemporalEncoder(weight_mag)
+    acc = AccumulatorUnit()
+    for _ in range(3):
+        bit = encoder.step()
+        acc.step(np.array([pe.step(bit)]), sign=weight_sign)
+    assert acc.value == weight_sign * weight_mag * activation

@@ -1,0 +1,31 @@
+"""Baseline systolic array tests."""
+
+import numpy as np
+import pytest
+
+from repro.hw.systolic import BaselineSystolicArray
+
+
+def test_exact_result():
+    gen = np.random.default_rng(0)
+    w = gen.standard_normal((10, 130))
+    x = gen.standard_normal((130, 7))
+    result = BaselineSystolicArray().run(w, x)
+    np.testing.assert_allclose(result.output, w @ x)
+
+
+def test_cycle_formula():
+    array = BaselineSystolicArray(64, 64)
+    # 130 input channels -> 3 K-tiles; 7 outputs -> 1 N-tile.
+    assert array.compute_cycles(m=10, k=130, n=7) == 10 * 3 * 1
+    assert array.compute_cycles(m=10, k=64, n=65) == 10 * 1 * 2
+
+
+def test_mac_count():
+    result = BaselineSystolicArray().run(np.ones((4, 8)), np.ones((8, 3)))
+    assert result.macs == 4 * 8 * 3
+
+
+def test_shape_mismatch():
+    with pytest.raises(ValueError):
+        BaselineSystolicArray().run(np.ones((2, 3)), np.ones((4, 5)))

@@ -1,0 +1,57 @@
+"""Temporal encoder unit tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.temporal import (TemporalEncoder, encode_magnitudes,
+                               decode_bitstream, MAX_MAGNITUDE)
+
+
+def test_paper_examples():
+    # Value 2 -> '11', value 1 -> '01' read as (cycle1, cycle2).
+    bits = encode_magnitudes(np.array([2, 1]))
+    assert bits.T.tolist() == [[1, 1], [1, 0]]
+
+
+def test_roundtrip_fixed():
+    mags = np.array([0, 1, 2, 3, 3, 0])
+    assert decode_bitstream(encode_magnitudes(mags)).tolist() == mags.tolist()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, MAX_MAGNITUDE), min_size=1, max_size=64))
+def test_roundtrip_property(mags):
+    mags = np.asarray(mags)
+    assert np.array_equal(decode_bitstream(encode_magnitudes(mags)), mags)
+
+
+def test_early_termination_length():
+    assert encode_magnitudes(np.array([1, 1, 0])).shape[0] == 1
+    assert encode_magnitudes(np.array([3, 0])).shape[0] == 3
+    assert encode_magnitudes(np.array([0, 0])).shape[0] == 0
+
+
+def test_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        encode_magnitudes(np.array([4]))
+    with pytest.raises(ValueError):
+        encode_magnitudes(np.array([-1]))
+
+
+def test_encoder_state_machine():
+    encoder = TemporalEncoder(2)
+    assert [encoder.step(), encoder.step(), encoder.step()] == [1, 1, 0]
+    assert encoder.exhausted
+
+
+def test_encoder_stop_signal():
+    encoder = TemporalEncoder(3)
+    assert encoder.step() == 1
+    encoder.stop()
+    assert encoder.step() == 0
+
+
+def test_encoder_rejects_bad_value():
+    with pytest.raises(ValueError):
+        TemporalEncoder(5)

@@ -1,0 +1,49 @@
+"""GEMM workload extraction tests."""
+
+from repro.hw.workloads import (GEMMShape, block_gemms, model_gemms,
+                                total_macs, total_weight_count)
+from repro.models.configs import ZOO_CONFIGS, zoo_config
+
+
+def test_block_has_six_gemms():
+    config = zoo_config("llama-sim-7b")
+    gemms = block_gemms(config, seq_len=32)
+    assert len(gemms) == 6
+    names = {g.name for g in gemms}
+    assert names == {"attn.wq", "attn.wk", "attn.wv", "attn.wo",
+                     "ffn.up", "ffn.down"}
+
+
+def test_model_gemm_count_scales_with_layers():
+    config = zoo_config("llama-sim-7b")
+    gemms = model_gemms(config, seq_len=32)
+    assert len(gemms) == 6 * config.num_layers
+
+
+def test_gemm_shapes_match_architecture():
+    config = zoo_config("llama-sim-7b")
+    by_name = {g.name: g for g in model_gemms(config, 16)}
+    up = by_name["blocks.0.ffn.up"]
+    assert (up.m, up.k, up.n) == (config.d_ff, config.d_model, 16)
+    down = by_name["blocks.0.ffn.down"]
+    assert (down.m, down.k, down.n) == (config.d_model, config.d_ff, 16)
+
+
+def test_macs_scale_with_seq():
+    config = zoo_config("llama-sim-3b")
+    assert total_macs(config, 64) == 2 * total_macs(config, 32)
+
+
+def test_weight_count_matches_quantizable_surface():
+    config = zoo_config("llama-sim-3b")
+    from repro.nn import TransformerLM
+    model = TransformerLM(config)
+    surface = sum(layer.weight.size
+                  for _, layer in model.quantizable_linears())
+    assert total_weight_count(config) == surface
+
+
+def test_gemm_shape_properties():
+    shape = GEMMShape("x", 4, 5, 6)
+    assert shape.macs == 120
+    assert shape.weight_count == 20

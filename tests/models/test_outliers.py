@@ -1,0 +1,94 @@
+"""Outlier injection tests: function preservation and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.models import (OutlierSpec, inject_outliers,
+                          pretrain_column_outliers)
+from repro.models.stats import (weight_stats, model_weight_stats,
+                                aggregate_outlier_ratio)
+from repro.models.configs import tiny_config
+from repro.nn import TransformerLM
+
+
+@pytest.fixture
+def fresh_model():
+    return TransformerLM(tiny_config(vocab_size=64, seed=3))
+
+
+def test_spike_injection_preserves_function(fresh_model):
+    tokens = np.random.default_rng(0).integers(0, 64, size=(2, 16))
+    with no_grad():
+        before = fresh_model(tokens).data.copy()
+    inject_outliers(fresh_model, OutlierSpec(seed=1))
+    with no_grad():
+        after = fresh_model(tokens).data
+    np.testing.assert_allclose(before, after, atol=1e-4)
+
+
+def test_spike_injection_changes_weights(fresh_model):
+    reference = {name: layer.weight.data.copy()
+                 for name, layer in fresh_model.quantizable_linears()}
+    inject_outliers(fresh_model, OutlierSpec(seed=1))
+    changed = sum(not np.allclose(layer.weight.data, reference[name])
+                  for name, layer in fresh_model.quantizable_linears())
+    assert changed >= 4 * fresh_model.config.num_layers
+
+
+def test_spike_report_targets_real_channels(fresh_model):
+    report = inject_outliers(fresh_model, OutlierSpec(seed=2))
+    entry = report["blocks.0.ffn.up"]
+    up = fresh_model.blocks[0].ffn.up
+    assert (entry["rows"] < up.out_features).all()
+    assert (entry["scales"] >= 1.0).all()
+
+
+def test_pretrain_injection_amplifies_columns(fresh_model):
+    spec = OutlierSpec(seed=3, column_fraction=0.05, column_range=(8.0, 8.0))
+    before = fresh_model.blocks[0].attn.wq.weight.data.copy()
+    report = pretrain_column_outliers(fresh_model, spec)
+    cols = report["blocks.0.attn.wq"]["columns"]
+    after = fresh_model.blocks[0].attn.wq.weight.data
+    np.testing.assert_allclose(after[:, cols], before[:, cols] * 8.0,
+                               rtol=1e-5)
+
+
+def test_pretrain_injection_covers_all_linears(fresh_model):
+    report = pretrain_column_outliers(fresh_model, OutlierSpec(seed=4))
+    assert set(report) == {name for name, _ in
+                           fresh_model.quantizable_linears()}
+
+
+def test_outlier_ratio_increases(fresh_model):
+    before = aggregate_outlier_ratio(fresh_model)
+    pretrain_column_outliers(fresh_model, OutlierSpec(seed=5))
+    inject_outliers(fresh_model, OutlierSpec(seed=5))
+    after = aggregate_outlier_ratio(fresh_model)
+    assert after > before
+
+
+def test_invalid_scale_range_rejected(fresh_model):
+    with pytest.raises(ValueError):
+        pretrain_column_outliers(
+            fresh_model, OutlierSpec(column_range=(0.0, 2.0)))
+
+
+def test_weight_stats_detects_planted_outliers():
+    gen = np.random.default_rng(0)
+    weight = gen.standard_normal((100, 60))
+    weight[:, 5] *= 20.0
+    stats = weight_stats(weight)
+    assert stats.outlier_ratio > 0.005
+    assert stats.max_abs > 10 * stats.std
+
+
+def test_weight_stats_clean_gaussian_low_ratio():
+    weight = np.random.default_rng(1).standard_normal((200, 200))
+    assert weight_stats(weight).outlier_ratio < 0.001
+
+
+def test_model_weight_stats_keys(fresh_model):
+    stats = model_weight_stats(fresh_model)
+    assert set(stats) == {name for name, _ in
+                          fresh_model.quantizable_linears()}

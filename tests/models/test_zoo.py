@@ -1,0 +1,48 @@
+"""Zoo configuration and (artifact-gated) loading tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import artifacts_dir
+from repro.models import ZOO_CONFIGS, zoo_config, tiny_config
+from repro.models.configs import ZOO_TRAIN_STEPS
+from repro.nn import TransformerLM
+
+
+def test_zoo_configs_well_formed():
+    for name, config in ZOO_CONFIGS.items():
+        assert config.name == name
+        assert config.d_model % config.num_heads == 0
+        assert (config.d_model // config.num_heads) % 2 == 0  # RoPE pairs
+        assert name in ZOO_TRAIN_STEPS
+
+
+def test_zoo_sizes_ordered():
+    sizes = [TransformerLM(c).num_parameters()
+             for c in (zoo_config("llama-sim-3b"), zoo_config("llama-sim-7b"),
+                       zoo_config("llama-sim-13b"))]
+    assert sizes == sorted(sizes)
+
+
+def test_unknown_zoo_name():
+    with pytest.raises(KeyError):
+        zoo_config("llama-sim-70b")
+
+
+def test_tiny_config_fast():
+    config = tiny_config()
+    model = TransformerLM(config)
+    assert model.num_parameters() < 150_000
+
+
+@pytest.mark.skipif(
+    not (artifacts_dir() / "llama-sim-3b.npz").exists(),
+    reason="zoo artifacts not trained yet (run benchmarks first)")
+def test_cached_zoo_model_loads():
+    from repro.models import load_model
+    zoo = load_model("llama-sim-3b", train_if_missing=False)
+    assert zoo.meta["train"]["steps"] == ZOO_TRAIN_STEPS["llama-sim-3b"]
+    logits = zoo.model(np.array([[1, 2, 3]]))
+    assert np.isfinite(logits.data).all()
+    # Trained well below the random-chance perplexity.
+    assert zoo.meta["train"]["val_loss"] < 3.0

@@ -1,0 +1,112 @@
+"""Attention, transformer block, and full-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.nn import TransformerLM, ModelConfig, KVCache
+from repro.models.configs import tiny_config
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TransformerLM(tiny_config(vocab_size=64, seed=2))
+
+
+def test_forward_shape(model):
+    tokens = np.random.default_rng(0).integers(0, 64, size=(3, 10))
+    logits = model(tokens)
+    assert logits.shape == (3, 10, 64)
+
+
+def test_forward_accepts_1d(model):
+    logits = model(np.array([1, 2, 3]))
+    assert logits.shape == (1, 3, 64)
+
+
+def test_causality(model):
+    """Changing a future token must not affect earlier logits."""
+    tokens = np.random.default_rng(1).integers(0, 64, size=(1, 8))
+    with no_grad():
+        base = model(tokens).data
+        mutated = tokens.copy()
+        mutated[0, -1] = (mutated[0, -1] + 7) % 64
+        changed = model(mutated).data
+    np.testing.assert_allclose(base[0, :-1], changed[0, :-1], atol=1e-5)
+    assert not np.allclose(base[0, -1], changed[0, -1], atol=1e-5)
+
+
+def test_kv_cache_matches_full_forward(model):
+    tokens = np.random.default_rng(2).integers(0, 64, size=6)
+    with no_grad():
+        full = model(tokens[None, :]).data[0]
+    cache = KVCache(model.config.num_layers)
+    outputs = []
+    with no_grad():
+        for i in range(len(tokens)):
+            logits = model(tokens[None, i:i + 1], cache=cache)
+            outputs.append(logits.data[0, -1])
+    np.testing.assert_allclose(full, np.stack(outputs), atol=1e-4)
+
+
+def test_cache_seq_len_tracking(model):
+    cache = KVCache(model.config.num_layers)
+    with no_grad():
+        model(np.array([[1, 2, 3]]), cache=cache)
+    assert cache.seq_len == 3
+    assert cache.layer_len(model.config.num_layers - 1) == 3
+
+
+def test_cache_byte_accounting():
+    cache = KVCache(2)
+    k = np.zeros((1, 2, 4, 8), dtype=np.float32)
+    cache.append(0, k, k.copy())
+    assert cache.num_bytes(bytes_per_element=2) == 2 * k.size * 2
+    projected = KVCache.projected_bytes(num_layers=2, num_heads=2, head_dim=8,
+                                        seq_len=4)
+    assert projected == 2 * 2 * 2 * 8 * 4 * 2
+
+
+def test_generate_deterministic_greedy(model):
+    out1 = model.generate(np.array([1, 2]), 5, temperature=0.0)
+    out2 = model.generate(np.array([1, 2]), 5, temperature=0.0)
+    np.testing.assert_array_equal(out1, out2)
+    assert len(out1) == 7
+
+
+def test_generate_sampled_reproducible(model):
+    rng = lambda: np.random.default_rng(9)
+    out1 = model.generate(np.array([1]), 4, temperature=1.0, rng=rng())
+    out2 = model.generate(np.array([1]), 4, temperature=1.0, rng=rng())
+    np.testing.assert_array_equal(out1, out2)
+
+
+def test_quantizable_surface(model):
+    layers = model.quantizable_linears()
+    assert len(layers) == 6 * model.config.num_layers
+    names = {name.split(".")[-1] for name, _ in layers}
+    assert names == {"wq", "wk", "wv", "wo", "up", "down"}
+
+
+def test_save_load_roundtrip(tmp_path, model):
+    path = tmp_path / "model.npz"
+    model.save(path)
+    clone = TransformerLM(model.config)
+    clone.load(path)
+    tokens = np.array([[5, 6, 7]])
+    with no_grad():
+        np.testing.assert_allclose(model(tokens).data, clone(tokens).data,
+                                   atol=1e-6)
+
+
+def test_state_dict_mismatch_raises(model):
+    clone = TransformerLM(tiny_config(vocab_size=64, seed=2))
+    state = model.state_dict()
+    state.pop(next(iter(state)))
+    with pytest.raises(KeyError):
+        clone.load_state_dict(state)
+
+
+def test_weight_bytes(model):
+    assert model.weight_bytes(16.0) == model.num_parameters() * 2
+    assert model.weight_bytes(2.33) < model.weight_bytes(16.0) / 6

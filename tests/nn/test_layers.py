@@ -1,0 +1,53 @@
+"""Layer unit tests."""
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Embedding, RMSNorm
+
+
+def test_linear_forward_matches_matmul():
+    layer = Linear(4, 3, rng=np.random.default_rng(0))
+    x = np.random.default_rng(1).standard_normal((2, 4)).astype(np.float32)
+    out = layer(Tensor(x))
+    np.testing.assert_allclose(out.data, x @ layer.weight.data.T, atol=1e-6)
+
+
+def test_linear_bias():
+    layer = Linear(4, 3, bias=True, rng=np.random.default_rng(0))
+    layer.bias.data[:] = [1.0, 2.0, 3.0]
+    out = layer(Tensor(np.zeros((1, 4), dtype=np.float32)))
+    np.testing.assert_allclose(out.data[0], [1.0, 2.0, 3.0])
+
+
+def test_linear_gaussian_init_statistics():
+    layer = Linear(400, 300, rng=np.random.default_rng(0))
+    std = layer.weight.data.std()
+    assert np.isclose(std, 1 / np.sqrt(400), rtol=0.1)
+    # Gaussian: some weights beyond 3 sigma (uniform init would have none).
+    assert (np.abs(layer.weight.data) > 3 * std).any()
+
+
+def test_linear_repr_shows_quant_method(gaussian_weight):
+    from repro.quant import get_quantizer
+    layer = Linear(120, 96)
+    layer.weight.data = gaussian_weight.astype(np.float32)
+    dequantized, record = get_quantizer("fineq").quantize_weight(gaussian_weight)
+    layer.weight.data = dequantized
+    layer.quant_record = record
+    assert "fineq" in repr(layer)
+
+
+def test_embedding_lookup():
+    table = Embedding(10, 4, rng=np.random.default_rng(0))
+    out = table(np.array([[1, 2], [3, 4]]))
+    assert out.shape == (2, 2, 4)
+    np.testing.assert_allclose(out.data[0, 0], table.weight.data[1])
+
+
+def test_rmsnorm_invariant_to_scale():
+    norm = RMSNorm(8)
+    x = np.random.default_rng(0).standard_normal((2, 8)).astype(np.float32)
+    out1 = norm(Tensor(x)).data
+    out2 = norm(Tensor(x * 10)).data
+    np.testing.assert_allclose(out1, out2, atol=1e-4)

@@ -1,0 +1,56 @@
+"""Module system tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Module, Parameter
+from repro.nn import Linear
+
+
+class Stack(Module):
+    def __init__(self):
+        self.layers = [Linear(4, 4, rng=np.random.default_rng(i))
+                       for i in range(3)]
+        self.head = Linear(4, 2, rng=np.random.default_rng(9))
+        self.scale = Parameter(np.ones(1, dtype=np.float32))
+
+
+def test_named_parameters_recurse_lists():
+    stack = Stack()
+    names = dict(stack.named_parameters())
+    assert "layers.0.weight" in names
+    assert "layers.2.weight" in names
+    assert "head.weight" in names
+    assert "scale" in names
+
+
+def test_num_parameters():
+    stack = Stack()
+    assert stack.num_parameters() == 3 * 16 + 8 + 1
+
+
+def test_named_modules():
+    stack = Stack()
+    names = [name for name, _ in stack.named_modules()]
+    assert "layers.1" in names and "head" in names
+
+
+def test_zero_grad():
+    stack = Stack()
+    for param in stack.parameters():
+        param.grad = np.ones_like(param.data)
+    stack.zero_grad()
+    assert all(p.grad is None for p in stack.parameters())
+
+
+def test_state_dict_shape_mismatch():
+    stack = Stack()
+    state = stack.state_dict()
+    state["scale"] = np.ones(5)
+    with pytest.raises(ValueError):
+        stack.load_state_dict(state)
+
+
+def test_forward_abstract():
+    with pytest.raises(NotImplementedError):
+        Module()()

@@ -1,0 +1,51 @@
+"""AWQ baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.quant import get_quantizer
+from repro.quant.awq import AWQQuantizer
+
+
+def test_awq_registered():
+    assert get_quantizer("awq").name == "awq"
+
+
+def test_awq_scales_protect_salient_channels():
+    """Channels with large activations quantize more accurately."""
+    gen = np.random.default_rng(0)
+    weight = gen.standard_normal((64, 128)) * 0.05
+    inputs = gen.standard_normal((256, 128))
+    inputs[:, :8] *= 20.0  # activation-salient channels
+
+    aware, _ = AWQQuantizer(bits=2, alpha=1.0).quantize_weight(
+        weight, inputs=inputs)
+    blind, _ = AWQQuantizer(bits=2, alpha=0.0).quantize_weight(
+        weight, inputs=inputs)
+
+    def loss(dq):
+        return float((((weight - dq) @ inputs.T) ** 2).sum())
+
+    assert loss(aware) < loss(blind)
+
+
+def test_awq_without_calibration_degenerates_to_grouped_rtn():
+    gen = np.random.default_rng(1)
+    weight = gen.standard_normal((32, 64))
+    dequantized, record = AWQQuantizer(bits=4).quantize_weight(weight)
+    assert np.isfinite(dequantized).all()
+    assert record.detail["alpha"] == 0.5
+
+
+def test_awq_alpha_validation():
+    with pytest.raises(ValueError):
+        AWQQuantizer(alpha=1.5)
+
+
+def test_awq_high_bits_near_lossless():
+    weight = np.random.default_rng(2).standard_normal((16, 32))
+    inputs = np.random.default_rng(3).standard_normal((64, 32))
+    dequantized, _ = AWQQuantizer(bits=8).quantize_weight(weight,
+                                                          inputs=inputs)
+    rel = ((dequantized - weight) ** 2).sum() / (weight ** 2).sum()
+    assert rel < 1e-3

@@ -1,0 +1,158 @@
+"""Behavioural tests for the five baseline quantizers."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (UniformQuantizer, RTNQuantizer, GPTQQuantizer,
+                         PBLLMQuantizer, OWQQuantizer)
+
+
+# --------------------------------------------------------------------- #
+# Uniform
+# --------------------------------------------------------------------- #
+def test_uniform_record(gaussian_weight):
+    dequantized, record = UniformQuantizer(bits=2).quantize_weight(gaussian_weight)
+    assert record.bits_payload == 2.0
+    assert record.bits_metadata < 0.01
+    assert dequantized.shape == gaussian_weight.shape
+
+
+def test_uniform_blown_by_outlier_columns(gaussian_weight):
+    """Per-tensor grids collapse the Gaussian bulk to zero."""
+    dequantized, _ = UniformQuantizer(bits=2).quantize_weight(gaussian_weight)
+    bulk = np.abs(gaussian_weight) < 0.2
+    assert (dequantized[bulk] == 0).mean() > 0.95
+
+
+def test_uniform_rejects_bits_below_2():
+    with pytest.raises(ValueError):
+        UniformQuantizer(bits=1)
+
+
+# --------------------------------------------------------------------- #
+# RTN
+# --------------------------------------------------------------------- #
+def test_rtn_uses_per_row_grid(gaussian_weight):
+    dequantized, record = RTNQuantizer(bits=2).quantize_weight(gaussian_weight)
+    assert record.bits_payload == 2.0
+    # Per-row asymmetric grid: each row has at most 4 distinct values.
+    for row in dequantized:
+        assert len(np.unique(row)) <= 4
+
+
+def test_rtn_better_than_uniform(gaussian_weight):
+    uniform, _ = UniformQuantizer(bits=2).quantize_weight(gaussian_weight)
+    rtn, _ = RTNQuantizer(bits=2).quantize_weight(gaussian_weight)
+    err = lambda d: float(((d - gaussian_weight) ** 2).sum())
+    assert err(rtn) < err(uniform)
+
+
+def test_rtn_high_bits_near_lossless(gaussian_weight):
+    dequantized, _ = RTNQuantizer(bits=8).quantize_weight(gaussian_weight)
+    rel = (((dequantized - gaussian_weight) ** 2).sum()
+           / (gaussian_weight ** 2).sum())
+    assert rel < 1e-3
+
+
+# --------------------------------------------------------------------- #
+# GPTQ
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def calibration_inputs():
+    return np.random.default_rng(11).standard_normal((512, 120))
+
+
+def test_gptq_requires_calibration(gaussian_weight):
+    with pytest.raises(ValueError):
+        GPTQQuantizer(bits=2).quantize_weight(gaussian_weight)
+
+
+def test_gptq_beats_rtn_on_task_loss(gaussian_weight, calibration_inputs):
+    """GPTQ minimises ||WX - QX||; it must beat RTN on that metric."""
+    gptq, _ = GPTQQuantizer(bits=2).quantize_weight(
+        gaussian_weight, inputs=calibration_inputs)
+    rtn, _ = RTNQuantizer(bits=2).quantize_weight(gaussian_weight)
+    x = calibration_inputs.T
+    gptq_loss = ((gaussian_weight @ x - gptq @ x) ** 2).sum()
+    rtn_loss = ((gaussian_weight @ x - rtn @ x) ** 2).sum()
+    assert gptq_loss < rtn_loss
+
+
+def test_gptq_act_order_runs(gaussian_weight, calibration_inputs):
+    dequantized, record = GPTQQuantizer(bits=2, act_order=True).quantize_weight(
+        gaussian_weight, inputs=calibration_inputs)
+    assert dequantized.shape == gaussian_weight.shape
+    assert record.detail["act_order"] is True
+
+
+def test_gptq_few_samples_stable(gaussian_weight):
+    inputs = np.random.default_rng(0).standard_normal((8, 120))
+    dequantized, _ = GPTQQuantizer(bits=2).quantize_weight(
+        gaussian_weight, inputs=inputs)
+    assert np.isfinite(dequantized).all()
+
+
+# --------------------------------------------------------------------- #
+# PB-LLM
+# --------------------------------------------------------------------- #
+def test_pbllm_salient_preserved_exactly(gaussian_weight):
+    quantizer = PBLLMQuantizer(salient_fraction=0.1)
+    dequantized, record = quantizer.quantize_weight(gaussian_weight)
+    k = int(round(0.1 * gaussian_weight.size))
+    flat = np.abs(gaussian_weight).reshape(-1)
+    threshold = np.partition(flat, flat.size - k)[flat.size - k]
+    salient = np.abs(gaussian_weight) >= threshold
+    np.testing.assert_allclose(dequantized[salient], gaussian_weight[salient],
+                               rtol=1e-6)
+    assert np.isclose(record.detail["salient_fraction"], 0.1, atol=0.01)
+
+
+def test_pbllm_binarizes_remainder(gaussian_weight):
+    dequantized, _ = PBLLMQuantizer(salient_fraction=0.1).quantize_weight(
+        gaussian_weight)
+    # Non-salient entries per row take at most 2 magnitudes (+/- scale).
+    flat = np.abs(gaussian_weight).reshape(-1)
+    k = int(round(0.1 * gaussian_weight.size))
+    threshold = np.partition(flat, flat.size - k)[flat.size - k]
+    non_salient = np.abs(gaussian_weight) < threshold
+    for i in range(gaussian_weight.shape[0]):
+        row_vals = np.unique(np.abs(dequantized[i][non_salient[i]]))
+        assert len(row_vals) <= 2
+
+
+def test_pbllm_paper_convention_bits(gaussian_weight):
+    _, record = PBLLMQuantizer().quantize_weight(gaussian_weight)
+    assert np.isclose(record.detail["paper_convention_bits"], 2.7)
+
+
+def test_pbllm_fraction_validation():
+    with pytest.raises(ValueError):
+        PBLLMQuantizer(salient_fraction=1.5)
+
+
+# --------------------------------------------------------------------- #
+# OWQ
+# --------------------------------------------------------------------- #
+def test_owq_weak_columns_exact(gaussian_weight, calibration_inputs):
+    quantizer = OWQQuantizer(weak_fraction=0.05)
+    dequantized, record = quantizer.quantize_weight(
+        gaussian_weight, inputs=calibration_inputs)
+    weak = record.detail["weak_columns"]
+    assert weak == max(1, int(round(0.05 * gaussian_weight.shape[1])))
+    # The planted outlier columns must be among the protected ones.
+    norms = (gaussian_weight ** 2).sum(axis=0)
+    planted = set(np.argsort(-norms)[:3])
+    exact_cols = {j for j in range(gaussian_weight.shape[1])
+                  if np.allclose(dequantized[:, j], gaussian_weight[:, j])}
+    assert planted <= exact_cols
+
+
+def test_owq_paper_convention_bits(gaussian_weight, calibration_inputs):
+    _, record = OWQQuantizer(group_size=128).quantize_weight(
+        gaussian_weight, inputs=calibration_inputs)
+    assert np.isclose(record.detail["paper_convention_bits"], 2.25)
+
+
+def test_owq_without_calibration_falls_back_to_norms(gaussian_weight):
+    dequantized, _ = OWQQuantizer().quantize_weight(gaussian_weight)
+    assert np.isfinite(dequantized).all()

@@ -1,0 +1,69 @@
+"""Calibration machinery tests."""
+
+import numpy as np
+import pytest
+
+from repro.quant import GPTQQuantizer, sequential_quantize
+from repro.quant.calibration import (calibration_batches, collect_layer_inputs,
+                                     input_hessian)
+from repro.eval.harness import clone_model
+
+
+def test_calibration_batches_shape():
+    stream = np.arange(10_000) % 100
+    batches = calibration_batches(stream, num_tokens=1024, seq_len=64)
+    assert batches.shape == (16, 64)
+
+
+def test_collect_layer_inputs_all_layers(tiny_model):
+    batches = np.random.default_rng(0).integers(
+        0, tiny_model.config.vocab_size, size=(2, 32))
+    inputs = collect_layer_inputs(tiny_model, batches)
+    expected = {name for name, _ in tiny_model.quantizable_linears()}
+    assert set(inputs) == expected
+    for name, layer in tiny_model.quantizable_linears():
+        assert inputs[name].shape == (64, layer.in_features)
+
+
+def test_collect_restores_forward(tiny_model):
+    batches = np.zeros((1, 4), dtype=np.int64)
+    collect_layer_inputs(tiny_model, batches)
+    for _, layer in tiny_model.quantizable_linears():
+        assert "forward" not in vars(layer)
+
+
+def test_input_hessian_positive_definite():
+    inputs = np.random.default_rng(0).standard_normal((64, 24))
+    hessian = input_hessian(inputs)
+    eigenvalues = np.linalg.eigvalsh(hessian)
+    assert eigenvalues.min() > 0
+
+
+def test_input_hessian_damping_scales_with_diag():
+    inputs = np.random.default_rng(0).standard_normal((64, 8)) * 100
+    hessian = input_hessian(inputs, damping=0.01)
+    assert np.isfinite(hessian).all()
+
+
+def test_sequential_quantize_covers_all_layers(tiny_model):
+    work = clone_model(tiny_model)
+    batches = np.random.default_rng(1).integers(
+        0, work.config.vocab_size, size=(2, 32))
+    report = sequential_quantize(work, GPTQQuantizer(bits=4), batches)
+    expected = {name for name, _ in work.quantizable_linears()}
+    assert set(report.records) == expected
+    # Weights actually changed.
+    changed = sum(
+        not np.allclose(layer.weight.data,
+                        dict(tiny_model.quantizable_linears())[name].weight.data)
+        for name, layer in work.quantizable_linears())
+    assert changed == len(expected)
+
+
+def test_sequential_quantize_sets_records(tiny_model):
+    work = clone_model(tiny_model)
+    batches = np.zeros((1, 8), dtype=np.int64)
+    sequential_quantize(work, GPTQQuantizer(bits=4), batches)
+    for _, layer in work.quantizable_linears():
+        assert layer.quant_record is not None
+        assert layer.quant_record.method == "gptq"

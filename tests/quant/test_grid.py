@@ -1,0 +1,99 @@
+"""Quantization grid tests (paper Eq. 1 and asymmetric variant)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant.grid import (symmetric_quantize, asymmetric_quantize,
+                              symmetric_grid_size, dequantize_asymmetric,
+                              asymmetric_params, quantize_with_params)
+
+
+def test_symmetric_grid_sizes():
+    assert symmetric_grid_size(2) == 1
+    assert symmetric_grid_size(3) == 3
+    assert symmetric_grid_size(8) == 127
+    with pytest.raises(ValueError):
+        symmetric_grid_size(1)
+
+
+def test_eq1_scale_definition():
+    weight = np.array([[0.27, -0.09, 0.18]])
+    _, codes, scale = symmetric_quantize(weight, bits=3, axis=0)
+    assert np.isclose(scale[0, 0], 0.27 / 3)
+    assert codes.max() <= 3 and codes.min() >= -3
+
+
+def test_symmetric_per_tensor_vs_per_row():
+    weight = np.array([[1.0, 0.5], [100.0, 50.0]])
+    per_tensor, _, _ = symmetric_quantize(weight, bits=2, axis=None)
+    per_row, _, _ = symmetric_quantize(weight, bits=2, axis=0)
+    # Per-tensor scale is blown by row 2; per-row adapts.
+    err_tensor = np.abs(per_tensor - weight).sum()
+    err_row = np.abs(per_row - weight).sum()
+    assert err_row < err_tensor
+
+
+def test_symmetric_zero_matrix_safe():
+    dequantized, codes, _ = symmetric_quantize(np.zeros((3, 4)), bits=2)
+    assert (dequantized == 0).all() and (codes == 0).all()
+
+
+def test_asymmetric_roundtrip_of_grid_points():
+    gen = np.random.default_rng(0)
+    scale = 0.1
+    codes = gen.integers(0, 4, size=(5, 8))
+    weight = (codes - 1) * scale
+    dequantized, _, _, _ = asymmetric_quantize(weight, bits=2, axis=0)
+    np.testing.assert_allclose(dequantized, weight, atol=1e-7)
+
+
+def test_asymmetric_codes_within_levels():
+    gen = np.random.default_rng(1)
+    weight = gen.standard_normal((6, 50))
+    _, codes, _, _ = asymmetric_quantize(weight, bits=2, axis=0)
+    assert codes.min() >= 0 and codes.max() <= 3
+
+
+def test_dequantize_asymmetric_inverse():
+    gen = np.random.default_rng(2)
+    weight = gen.standard_normal((4, 32))
+    dequantized, codes, scale, zero = asymmetric_quantize(weight, bits=4)
+    np.testing.assert_allclose(
+        dequantize_asymmetric(codes, scale, zero), dequantized, atol=1e-6)
+
+
+def test_quantize_with_params_matches_fresh_grid():
+    gen = np.random.default_rng(3)
+    weight = gen.standard_normal((4, 16))
+    scale, zero = asymmetric_params(weight, bits=2, axis=0)
+    via_params = quantize_with_params(weight, scale, zero, bits=2)
+    direct, _, _, _ = asymmetric_quantize(weight, bits=2, axis=0)
+    np.testing.assert_allclose(via_params, direct, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bits=st.integers(2, 8), seed=st.integers(0, 1000))
+def test_symmetric_error_bounded_by_half_step(bits, seed):
+    weight = np.random.default_rng(seed).standard_normal((3, 17))
+    dequantized, _, scale = symmetric_quantize(weight, bits=bits, axis=0)
+    assert (np.abs(dequantized - weight) <= scale / 2 + 1e-9).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(bits=st.integers(1, 8), seed=st.integers(0, 1000))
+def test_asymmetric_error_bounded_by_half_step(bits, seed):
+    weight = np.random.default_rng(seed).standard_normal((3, 17))
+    dequantized, _, scale, _ = asymmetric_quantize(weight, bits=bits, axis=0)
+    assert (np.abs(dequantized - weight) <= scale / 2 + 1e-9).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_more_bits_never_hurt(seed):
+    weight = np.random.default_rng(seed).standard_normal((4, 30))
+    errors = []
+    for bits in (2, 3, 4, 8):
+        dequantized, _, _ = symmetric_quantize(weight, bits=bits, axis=0)
+        errors.append(float(((dequantized - weight) ** 2).sum()))
+    assert errors == sorted(errors, reverse=True)

@@ -1,0 +1,46 @@
+"""Integration: quantizing whole models through the base interface."""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import clone_model
+from repro.quant import get_quantizer
+from repro.quant.base import ModelQuantReport
+
+
+def test_quantize_model_in_place(tiny_model):
+    work = clone_model(tiny_model)
+    report = get_quantizer("fineq").quantize_model(work)
+    assert isinstance(report, ModelQuantReport)
+    assert len(report.records) == len(work.quantizable_linears())
+    assert 2.3 < report.avg_bits < 2.7
+
+
+def test_quantize_model_attaches_records(tiny_model):
+    work = clone_model(tiny_model)
+    get_quantizer("rtn", bits=2).quantize_model(work)
+    for _, layer in work.quantizable_linears():
+        assert layer.quant_record.method == "rtn"
+
+
+def test_calibration_required_error(tiny_model):
+    work = clone_model(tiny_model)
+    with pytest.raises(ValueError, match="calibration"):
+        get_quantizer("gptq").quantize_model(work)
+
+
+def test_embeddings_and_head_untouched(tiny_model):
+    work = clone_model(tiny_model)
+    get_quantizer("uniform", bits=2).quantize_model(work)
+    np.testing.assert_array_equal(work.embed.weight.data,
+                                  tiny_model.embed.weight.data)
+    np.testing.assert_array_equal(work.head.weight.data,
+                                  tiny_model.head.weight.data)
+
+
+def test_total_bytes_positive(tiny_model):
+    work = clone_model(tiny_model)
+    report = get_quantizer("fineq").quantize_model(work)
+    fp16_bytes = sum(layer.weight.size * 2
+                     for _, layer in work.quantizable_linears())
+    assert 0 < report.total_bytes() < fp16_bytes / 4

@@ -1,0 +1,36 @@
+"""QuantRecord / ModelQuantReport accounting tests."""
+
+import numpy as np
+
+from repro.quant.base import QuantRecord, ModelQuantReport
+
+
+def make_record(method="x", payload=2.0, meta=0.33, shape=(4, 6)):
+    return QuantRecord(method=method, bits_payload=payload,
+                       bits_metadata=meta, weight_shape=shape)
+
+
+def test_avg_bits_is_sum():
+    record = make_record(payload=2.0, meta=0.5)
+    assert record.avg_bits == 2.5
+
+
+def test_report_weighted_average():
+    records = {
+        "a": make_record(payload=2.0, meta=0.0, shape=(10, 10)),   # 100 w
+        "b": make_record(payload=4.0, meta=0.0, shape=(30, 10)),   # 300 w
+    }
+    report = ModelQuantReport(method="x", records=records)
+    expected = (2.0 * 100 + 4.0 * 300) / 400
+    assert np.isclose(report.avg_bits, expected)
+
+
+def test_report_total_bytes():
+    records = {"a": make_record(payload=8.0, meta=0.0, shape=(2, 2))}
+    report = ModelQuantReport(method="x", records=records)
+    assert report.total_bytes() == 4  # 4 weights x 8 bits
+
+
+def test_empty_report():
+    report = ModelQuantReport(method="x", records={})
+    assert report.avg_bits == 0.0

@@ -1,0 +1,41 @@
+"""Registry tests: every paper method is constructible by name."""
+
+import pytest
+
+from repro.quant import get_quantizer, available_methods, register
+from repro.quant.base import Quantizer
+
+
+def test_all_paper_methods_available():
+    methods = available_methods()
+    for name in ("uniform", "rtn", "gptq", "pb-llm", "owq", "fineq"):
+        assert name in methods
+
+
+def test_get_quantizer_with_kwargs():
+    quantizer = get_quantizer("rtn", bits=3)
+    assert quantizer.bits == 3
+
+
+def test_fineq_lazily_registered():
+    quantizer = get_quantizer("fineq")
+    assert quantizer.name == "fineq"
+
+
+def test_unknown_method_raises():
+    with pytest.raises(KeyError, match="unknown quantizer"):
+        get_quantizer("awq-missing")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError):
+        register("rtn", lambda: None)
+
+
+def test_quantizer_interface(gaussian_weight):
+    for name in ("uniform", "rtn", "fineq"):
+        quantizer = get_quantizer(name)
+        assert isinstance(quantizer, Quantizer)
+        dequantized, record = quantizer.quantize_weight(gaussian_weight)
+        assert dequantized.shape == gaussian_weight.shape
+        assert record.avg_bits > 0

@@ -1,0 +1,78 @@
+"""Optimizer, schedule, and trainer tests."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.module import Parameter
+from repro.train import Adam, CosineSchedule, clip_grad_norm, Trainer, TrainConfig
+from repro.nn import TransformerLM
+from repro.models.configs import tiny_config
+
+
+def test_adam_minimises_quadratic():
+    param = Parameter(np.array([5.0, -3.0], dtype=np.float32))
+    optimizer = Adam([param], lr=0.1)
+    for _ in range(200):
+        optimizer.zero_grad()
+        param.grad = 2 * param.data  # d/dx x^2
+        optimizer.step()
+    np.testing.assert_allclose(param.data, [0.0, 0.0], atol=1e-2)
+
+
+def test_adam_decoupled_weight_decay_shrinks_params():
+    param = Parameter(np.array([10.0], dtype=np.float32))
+    optimizer = Adam([param], lr=0.1, weight_decay=0.5)
+    param.grad = np.zeros(1, dtype=np.float32)
+    before = float(param.data[0])
+    optimizer.step()
+    # With zero gradient, decoupled decay still shrinks the weight.
+    assert float(param.data[0]) < before
+
+
+def test_adam_skips_gradless_params():
+    param = Parameter(np.ones(2, dtype=np.float32))
+    Adam([param]).step()
+    np.testing.assert_allclose(param.data, np.ones(2))
+
+
+def test_cosine_schedule_shape():
+    schedule = CosineSchedule(base_lr=1.0, warmup_steps=10, total_steps=100,
+                              min_lr=0.1)
+    assert schedule.lr_at(0) == pytest.approx(0.1, abs=0.05)
+    assert schedule.lr_at(9) == pytest.approx(1.0)
+    assert schedule.lr_at(100) == pytest.approx(0.1)
+    assert schedule.lr_at(55) < schedule.lr_at(20)
+
+
+def test_cosine_schedule_validates():
+    with pytest.raises(ValueError):
+        CosineSchedule(1.0, 0, 0)
+
+
+def test_clip_grad_norm():
+    params = [Parameter(np.zeros(3, dtype=np.float32)) for _ in range(2)]
+    params[0].grad = np.array([3.0, 0.0, 0.0], dtype=np.float32)
+    params[1].grad = np.array([0.0, 4.0, 0.0], dtype=np.float32)
+    norm = clip_grad_norm(params, max_norm=1.0)
+    assert norm == pytest.approx(5.0)
+    total = np.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+    assert total == pytest.approx(1.0, abs=1e-5)
+
+
+def test_trainer_reduces_loss(tiny_stream):
+    model = TransformerLM(tiny_config(vocab_size=256, seed=11))
+    config = TrainConfig(steps=60, batch_size=8, seq_len=32, lr=3e-3,
+                         log_every=10)
+    trainer = Trainer(model, tiny_stream, config)
+    summary = trainer.train()
+    first_loss = trainer.history[0]["loss"]
+    assert summary["final_loss"] < first_loss * 0.7
+
+
+def test_trainer_eval(tiny_stream):
+    model = TransformerLM(tiny_config(vocab_size=256, seed=12))
+    config = TrainConfig(steps=5, batch_size=4, seq_len=32)
+    trainer = Trainer(model, tiny_stream, config, val_stream=tiny_stream[:2000])
+    summary = trainer.train()
+    assert "val_loss" in summary and np.isfinite(summary["val_loss"])
