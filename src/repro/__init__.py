@@ -7,6 +7,8 @@ Public API highlights
 * :func:`repro.quant.get_quantizer` — baseline quantizers (Uniform, RTN,
   GPTQ, PB-LLM, OWQ).
 * :class:`repro.core.FineQQuantizer` — the paper's contribution.
+* :class:`repro.serve.GenerationEngine` — batched continuous-batching
+  serving over a preallocated KV cache.
 * :mod:`repro.hw` — temporal-coding accelerator functional + cycle model.
 * :mod:`repro.experiments` — one module per paper table/figure.
 """

@@ -61,16 +61,34 @@ def scheme_reconstruction_error(clusters: np.ndarray, scales: np.ndarray
     """Squared reconstruction error of every scheme for every cluster.
 
     Returns ``(4, rows, clusters)``: entry ``l`` is the error if scheme
-    ``l`` were used for that cluster at the given channel scale.
+    ``l`` were used for that cluster at the given channel scale.  Rounding
+    is scheme-independent, so it is hoisted out of the scheme loop (only
+    the clip bounds differ between schemes).
     """
+    rounded = round_half_away(clusters / scales)
     errors = np.empty((len(SCHEME_WIDTHS),) + clusters.shape[:2])
     for scheme_index in range(len(SCHEME_WIDTHS)):
-        widths = SCHEME_WIDTHS[scheme_index]
-        qmax = qmax_for_widths(widths)
-        codes = np.clip(round_half_away(clusters / scales), -qmax, qmax)
-        residual = clusters - codes * scales
+        qmax = qmax_for_widths(SCHEME_WIDTHS[scheme_index])
+        residual = clusters - np.clip(rounded, -qmax, qmax) * scales
         errors[scheme_index] = (residual ** 2).sum(axis=-1)
     return errors
+
+
+def _pair_scheme_errors(pair_values: np.ndarray, pair_scales: np.ndarray
+                        ) -> np.ndarray:
+    """Summed per-pair error of every scheme, for disagreeing pairs only.
+
+    ``pair_values`` is ``(pairs, 2, cluster)`` (both members of each
+    pair), ``pair_scales`` the matching ``(pairs,)`` channel scales;
+    returns ``(4, pairs)``.
+    """
+    scales = pair_scales[:, None, None]
+    rounded = round_half_away(pair_values / scales)
+    qmax = qmax_for_widths(SCHEME_WIDTHS)            # (4, cluster)
+    codes = np.clip(rounded[None], -qmax[:, None, None, :],
+                    qmax[:, None, None, :])          # (4, pairs, 2, cluster)
+    residual = pair_values[None] - codes * scales[None]
+    return (residual ** 2).sum(axis=(-1, -2))
 
 
 def harmonize_pairs(clusters: np.ndarray, schemes: np.ndarray,
@@ -81,25 +99,33 @@ def harmonize_pairs(clusters: np.ndarray, schemes: np.ndarray,
     scheme (it gets a dedicated index field whose second slot is padding).
     Agreeing pairs are untouched; disagreeing pairs take the
     error-minimising scheme over both members (Algorithm 1 line 22).
+
+    Reconstruction errors are evaluated only for the disagreeing pairs
+    (typically a small fraction of all clusters), not for every cluster
+    under every scheme.  When no pair disagrees the input ``schemes``
+    array is returned unchanged — callers can use identity to skip
+    recomputing scales.
     """
     rows, num_clusters = schemes.shape
-    result = schemes.copy()
     even_count = num_clusters - (num_clusters % 2)
     if even_count == 0:
-        return result
+        return schemes
 
-    left = result[:, 0:even_count:2]
-    right = result[:, 1:even_count:2]
+    left = schemes[:, 0:even_count:2]
+    right = schemes[:, 1:even_count:2]
     disagree = left != right
     if not disagree.any():
-        return result
+        return schemes
 
-    errors = scheme_reconstruction_error(clusters, scales)  # (4, rows, C)
-    pair_errors = (errors[:, :, 0:even_count:2]
-                   + errors[:, :, 1:even_count:2])          # (4, rows, P)
-    best = pair_errors.argmin(axis=0)                       # (rows, P)
-    left[disagree] = best[disagree]
-    right[disagree] = best[disagree]
-    result[:, 0:even_count:2] = left
-    result[:, 1:even_count:2] = right
+    row_idx, pair_idx = np.nonzero(disagree)
+    left_idx = 2 * pair_idx
+    pair_values = np.stack([clusters[row_idx, left_idx],
+                            clusters[row_idx, left_idx + 1]], axis=1)
+    pair_scales = scales.reshape(-1)[row_idx]
+    errors = _pair_scheme_errors(pair_values, pair_scales)  # (4, pairs)
+    best = errors.argmin(axis=0)
+
+    result = schemes.copy()
+    result[row_idx, left_idx] = best
+    result[row_idx, left_idx + 1] = best
     return result

@@ -100,8 +100,11 @@ class FineQQuantizer(Quantizer):
         schemes = initial_schemes(clusters, ratio=self.config.outlier_ratio)
         scales = channel_scales(clusters, schemes)
         if self.config.harmonize:
-            schemes = harmonize_pairs(clusters, schemes, scales)
-            scales = channel_scales(clusters, schemes)
+            harmonized = harmonize_pairs(clusters, schemes, scales)
+            if harmonized is not schemes:
+                # Scales only shift when harmonization changed a scheme.
+                schemes = harmonized
+                scales = channel_scales(clusters, schemes)
 
         codes = quantize_codes(clusters, schemes, scales)
         dequantized = dequantize_codes(codes, scales).reshape(rows, -1)

@@ -13,6 +13,7 @@ from repro.quant.base import ModelQuantReport
 from repro.quant.calibration import (calibration_batches, collect_layer_inputs,
                                      sequential_quantize)
 from repro.quant.registry import get_quantizer
+from repro.serve.bench import bench_prompts, engine_throughput
 
 
 @dataclass
@@ -37,13 +38,18 @@ def quantized_perplexity(model: TransformerLM, tokenizer: WordTokenizer,
                          seq_len: int,
                          method_kwargs: dict | None = None,
                          calibration: np.ndarray | None = None,
-                         max_tokens: int | None = 20_000
+                         max_tokens: int | None = 20_000,
+                         measure_throughput: bool = False
                          ) -> tuple[MethodResult, ModelQuantReport | None]:
     """Quantize a clone of ``model`` with ``method`` and measure perplexity.
 
     ``method="fp16"`` is the unquantized reference.  Calibration-based
     methods follow the faithful sequential protocol: each block is
     calibrated on activations from the already-quantized prefix.
+
+    With ``measure_throughput`` the quantized model is also served through
+    the batched generation engine and decode/prefill tokens-per-second
+    land in ``result.detail`` — accuracy and serving speed from one sweep.
     """
     work = clone_model(model)
     report = None
@@ -62,6 +68,12 @@ def quantized_perplexity(model: TransformerLM, tokenizer: WordTokenizer,
     for dataset in datasets:
         result.perplexity[dataset] = dataset_perplexity(
             work, tokenizer, dataset, seq_len, max_tokens=max_tokens)
+    if measure_throughput:
+        point = engine_throughput(
+            work, bench_prompts(work.config.vocab_size, num=8),
+            max_new_tokens=16, batch_size=8)
+        result.detail["decode_tokens_per_s"] = point.decode_tokens_per_s
+        result.detail["prefill_tokens_per_s"] = point.prefill_tokens_per_s
     return result, report
 
 

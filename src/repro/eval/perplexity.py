@@ -36,13 +36,15 @@ def perplexity(model: TransformerLM, stream: np.ndarray, seq_len: int,
     if num_windows == 0:
         raise ValueError(f"stream of {len(stream)} tokens shorter than "
                          f"seq_len={seq_len}")
+    # One vectorized gather for every window (with its shifted target)
+    # instead of a python slice-and-stack per batch.
+    starts = np.arange(num_windows)[:, None] * seq_len
+    all_windows = stream[starts + np.arange(seq_len + 1)[None, :]]
     total_nll = 0.0
     total_tokens = 0
     with no_grad():
         for start in range(0, num_windows, batch_size):
-            idx = np.arange(start, min(start + batch_size, num_windows))
-            windows = np.stack([stream[i * seq_len:(i + 1) * seq_len + 1]
-                                for i in idx])
+            windows = all_windows[start:start + batch_size]
             logits = model(windows[:, :-1]).data
             nll = nll_per_token(logits, windows[:, 1:])
             total_nll += float(nll.sum())

@@ -10,6 +10,21 @@ from repro.nn.module import Module
 from repro.nn.rope import RotaryEmbedding
 from repro.nn.kv_cache import KVCache
 
+#: Memoised additive causal masks keyed by ``(seq, total)``.  Prefill and
+#: perplexity evaluation hit the same handful of shapes over and over; the
+#: single-token decode path never builds a mask at all.
+_MASK_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
+def causal_mask(seq: int, total: int) -> np.ndarray:
+    """Additive ``(seq, total)`` causal mask (0 allowed, -inf future)."""
+    mask = _MASK_CACHE.get((seq, total))
+    if mask is None:
+        mask = np.triu(np.full((seq, total), -np.inf, dtype=np.float32),
+                       k=1 + total - seq)
+        _MASK_CACHE[(seq, total)] = mask
+    return mask
+
 
 class MultiHeadAttention(Module):
     """QKV generation, scaled-dot-product attention, output linear.
@@ -36,26 +51,48 @@ class MultiHeadAttention(Module):
         return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
     def forward(self, x: Tensor, cache: KVCache | None = None,
-                layer_index: int = 0) -> Tensor:
+                layer_index: int = 0, positions: np.ndarray | None = None,
+                kv_mask: np.ndarray | None = None,
+                cache_rows: np.ndarray | None = None) -> Tensor:
+        """Attend over ``x`` plus any cached context.
+
+        ``positions`` (``(batch, seq)`` absolute positions) and ``kv_mask``
+        (additive ``(batch, 1, 1, total)`` mask) enable the serving
+        engine's ragged batches: each row rotates by its own positions and
+        masks cache slots beyond its own length.  ``cache_rows`` routes a
+        prefill into specific rows of a larger cache slot pool; those rows
+        are fresh, so the current K/V are the entire context.
+        """
         batch, seq, _ = x.shape
-        offset = cache.layer_len(layer_index) if cache is not None else 0
+        if cache_rows is not None or cache is None:
+            offset = 0
+        else:
+            offset = cache.layer_len(layer_index)
 
         q = self._split_heads(self.wq(x), batch, seq)
         k = self._split_heads(self.wk(x), batch, seq)
         v = self._split_heads(self.wv(x), batch, seq)
-        q = self.rope(q, position_offset=offset)
-        k = self.rope(k, position_offset=offset)
+        q = self.rope(q, position_offset=offset, positions=positions)
+        k = self.rope(k, position_offset=offset, positions=positions)
 
         if cache is not None:
-            k_data, v_data = cache.append(layer_index, k.data, v.data)
-            k, v = Tensor(k_data), Tensor(v_data)
+            if cache_rows is not None:
+                cache.write_rows(layer_index, k.data, v.data, cache_rows)
+            elif positions is not None and seq == 1:
+                k_data, v_data = cache.write_token(layer_index, k.data, v.data,
+                                                   positions[:, 0])
+                k, v = Tensor(k_data), Tensor(v_data)
+            else:
+                k_data, v_data = cache.append(layer_index, k.data, v.data)
+                k, v = Tensor(k_data), Tensor(v_data)
 
         scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
-        total = offset + seq
         if seq > 1:
-            mask = np.full((seq, total), -np.inf, dtype=np.float32)
-            mask = np.triu(mask, k=1 + offset)
-            scores = scores + Tensor(mask)
+            # Single-token decode skips mask construction entirely (the new
+            # token may attend to everything); prefill reuses cached masks.
+            scores = scores + Tensor(causal_mask(seq, k.shape[2]))
+        if kv_mask is not None:
+            scores = scores + Tensor(kv_mask)
         probs = F.softmax(scores, axis=-1)
         context = probs @ v  # (B, H, T, head_dim)
         merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)

@@ -1,5 +1,20 @@
 """Key/value cache for incremental decoding.
 
+The cache preallocates ``(batch, heads, capacity, head_dim)`` buffers per
+layer and grows them by amortized doubling, so a decode step is an
+in-place write plus a zero-copy view instead of an O(T) concatenation
+(O(T^2) per generated sequence with the old concatenate-per-token cache).
+
+Three write paths serve the generation stack:
+
+* :meth:`append` — uniform append for all batch rows (sequential decode
+  and whole-batch prefill);
+* :meth:`write_token` — scatter a single decode token at per-row slots,
+  which is what lets the serving engine batch sequences of different
+  lengths;
+* :meth:`write_rows` — prefill a subset of batch rows from slot zero,
+  used when the engine admits new prompts into freed cache slots.
+
 Also provides the byte accounting used by the Fig. 2(b) serving-memory
 experiment (weights vs KV cache vs other).
 """
@@ -10,44 +25,138 @@ import numpy as np
 
 
 class KVCache:
-    """Per-layer append-only K/V storage.
+    """Per-layer preallocated K/V storage with amortized-doubling growth.
 
-    Keys/values are stored as ``(batch, heads, time, head_dim)`` arrays,
-    mirroring the attention layout, and grown by concatenation; the cache
-    is an inference-path object so no gradients flow through it.
+    Keys/values are stored as ``(batch, heads, capacity, head_dim)``
+    arrays, mirroring the attention layout; the cache is an inference-path
+    object so no gradients flow through it.  ``batch`` may be pinned at
+    construction (the serving engine does, so sub-batch prefills can
+    target rows of a larger slot pool) or inferred from the first append.
     """
 
-    def __init__(self, num_layers: int):
+    def __init__(self, num_layers: int, batch: int | None = None,
+                 initial_capacity: int = 64):
+        if initial_capacity < 1:
+            raise ValueError("initial_capacity must be >= 1")
         self.num_layers = num_layers
+        self.batch = batch
+        self.initial_capacity = initial_capacity
         self._keys: list[np.ndarray | None] = [None] * num_layers
         self._values: list[np.ndarray | None] = [None] * num_layers
+        self._lengths: list[int] = [0] * num_layers
 
-    def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Append new K/V for ``layer``; return the full cached arrays."""
-        if self._keys[layer] is None:
-            self._keys[layer] = k
-            self._values[layer] = v
-        else:
-            self._keys[layer] = np.concatenate([self._keys[layer], k], axis=2)
-            self._values[layer] = np.concatenate([self._values[layer], v], axis=2)
-        return self._keys[layer], self._values[layer]
+    # ------------------------------------------------------------------ #
+    # storage management
+    # ------------------------------------------------------------------ #
+    def _ensure(self, layer: int, like: np.ndarray, needed: int) -> None:
+        """Allocate or double layer buffers until ``needed`` steps fit."""
+        buf = self._keys[layer]
+        if buf is None:
+            capacity = self.initial_capacity
+            while capacity < needed:
+                capacity *= 2
+            batch = self.batch if self.batch is not None else like.shape[0]
+            shape = (batch, like.shape[1], capacity, like.shape[3])
+            self._keys[layer] = np.zeros(shape, dtype=like.dtype)
+            self._values[layer] = np.zeros(shape, dtype=like.dtype)
+            return
+        capacity = buf.shape[2]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        used = self._lengths[layer]
+        for store in (self._keys, self._values):
+            old = store[layer]
+            new = np.zeros(old.shape[:2] + (capacity, old.shape[3]),
+                           dtype=old.dtype)
+            new[:, :, :used] = old[:, :, :used]
+            store[layer] = new
 
+    def _views(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        length = self._lengths[layer]
+        return (self._keys[layer][:, :, :length],
+                self._values[layer][:, :, :length])
+
+    # ------------------------------------------------------------------ #
+    # write paths
+    # ------------------------------------------------------------------ #
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Append new K/V for ``layer``; return views of the full cache."""
+        start = self._lengths[layer]
+        stop = start + k.shape[2]
+        self._ensure(layer, k, stop)
+        self._keys[layer][:, :, start:stop] = k
+        self._values[layer][:, :, start:stop] = v
+        self._lengths[layer] = stop
+        return self._views(layer)
+
+    def write_token(self, layer: int, k: np.ndarray, v: np.ndarray,
+                    positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Scatter one decode token per batch row at ``positions``.
+
+        ``k``/``v`` are ``(batch, heads, 1, head_dim)``; row ``b`` is
+        written at time slot ``positions[b]``.  The layer length becomes
+        the furthest slot ever written, so the returned views cover every
+        row's context (shorter rows mask the tail in attention).
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        needed = int(positions.max()) + 1
+        self._ensure(layer, k, max(needed, self._lengths[layer]))
+        rows = np.arange(k.shape[0])
+        self._keys[layer][rows, :, positions] = k[:, :, 0]
+        self._values[layer][rows, :, positions] = v[:, :, 0]
+        self._lengths[layer] = max(self._lengths[layer], needed)
+        return self._views(layer)
+
+    def write_rows(self, layer: int, k: np.ndarray, v: np.ndarray,
+                   rows: np.ndarray) -> None:
+        """Prefill batch rows ``rows`` from slot zero with ``k``/``v``.
+
+        Fresh rows carry no prior context, so the caller's own K/V are the
+        whole attention context and nothing needs to be read back.
+        """
+        if self.batch is None:
+            raise ValueError("write_rows needs a cache with a pinned batch")
+        seq = k.shape[2]
+        self._ensure(layer, k, seq)
+        rows = np.asarray(rows, dtype=np.int64)
+        self._keys[layer][rows, :, :seq] = k
+        self._values[layer][rows, :, :seq] = v
+        self._lengths[layer] = max(self._lengths[layer], seq)
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
     @property
     def seq_len(self) -> int:
-        first = self._keys[0]
-        return 0 if first is None else first.shape[2]
+        return self._lengths[0]
 
     def layer_len(self, layer: int) -> int:
         """Cached time steps for ``layer`` (may lag ``seq_len`` mid-forward)."""
-        k = self._keys[layer]
-        return 0 if k is None else k.shape[2]
+        return self._lengths[layer]
+
+    def capacity(self, layer: int) -> int:
+        """Allocated time slots for ``layer`` (0 before first write)."""
+        buf = self._keys[layer]
+        return 0 if buf is None else buf.shape[2]
 
     def num_bytes(self, bytes_per_element: int = 2) -> int:
-        """Total cache footprint assuming FP16 storage by default."""
+        """Logical cache footprint (used slots) assuming FP16 by default."""
         total = 0
-        for k, v in zip(self._keys, self._values):
+        for k, length in zip(self._keys, self._lengths):
             if k is not None:
-                total += (k.size + v.size) * bytes_per_element
+                batch, heads, _, head_dim = k.shape
+                total += 2 * batch * heads * length * head_dim * bytes_per_element
+        return total
+
+    def allocated_bytes(self, bytes_per_element: int = 2) -> int:
+        """Physical footprint of the preallocated buffers."""
+        total = 0
+        for k in self._keys:
+            if k is not None:
+                total += 2 * k.size * bytes_per_element
         return total
 
     @staticmethod

@@ -62,14 +62,23 @@ class TransformerLM(Module):
         self.final_norm = RMSNorm(config.d_model)
         self.head = Linear(config.d_model, config.vocab_size, rng=rng)
 
-    def forward(self, tokens: np.ndarray, cache: KVCache | None = None) -> Tensor:
-        """Return logits ``(batch, seq, vocab)`` for integer ``tokens``."""
+    def forward(self, tokens: np.ndarray, cache: KVCache | None = None,
+                positions: np.ndarray | None = None,
+                kv_mask: np.ndarray | None = None,
+                cache_rows: np.ndarray | None = None) -> Tensor:
+        """Return logits ``(batch, seq, vocab)`` for integer ``tokens``.
+
+        ``positions``/``kv_mask``/``cache_rows`` thread the serving
+        engine's ragged-batch decode and slot-targeted prefill through to
+        attention (see :class:`repro.nn.attention.MultiHeadAttention`).
+        """
         tokens = np.asarray(tokens)
         if tokens.ndim == 1:
             tokens = tokens[None, :]
         x = self.embed(tokens)
         for index, block in enumerate(self.blocks):
-            x = block(x, cache=cache, layer_index=index)
+            x = block(x, cache=cache, layer_index=index, positions=positions,
+                      kv_mask=kv_mask, cache_rows=cache_rows)
         return self.head(self.final_norm(x))
 
     # ------------------------------------------------------------------ #
@@ -106,7 +115,7 @@ class TransformerLM(Module):
         tokens = list(prompt)
         with no_grad():
             logits = self.forward(prompt[None, :], cache=cache)
-            for _ in range(max_new_tokens):
+            for step in range(max_new_tokens):
                 last = logits.data[0, -1]
                 if temperature <= 0.0:
                     next_token = int(last.argmax())
@@ -117,5 +126,6 @@ class TransformerLM(Module):
                     probs /= probs.sum()
                     next_token = int(rng.choice(len(probs), p=probs))
                 tokens.append(next_token)
-                logits = self.forward(np.array([[next_token]]), cache=cache)
+                if step + 1 < max_new_tokens:
+                    logits = self.forward(np.array([[next_token]]), cache=cache)
         return np.asarray(tokens, dtype=np.int64)

@@ -18,7 +18,13 @@ from repro.autograd import Tensor
 
 
 class RotaryEmbedding:
-    """Precomputed cos/sin tables for a head dimension."""
+    """Precomputed cos/sin tables for a head dimension.
+
+    The full trig tables are built once up to ``max_seq_len`` at
+    construction; per-call lookups are zero-copy views memoised by
+    ``(offset, seq)`` so the decode hot loop never re-slices or
+    re-validates the tables for positions it has already visited.
+    """
 
     def __init__(self, head_dim: int, max_seq_len: int, theta: float = 10000.0):
         if head_dim % 2 != 0:
@@ -30,16 +36,45 @@ class RotaryEmbedding:
         angles = np.outer(positions, inv_freq)  # (T, head_dim/2)
         self.cos = np.cos(angles).astype(np.float32)
         self.sin = np.sin(angles).astype(np.float32)
+        self._slices: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
 
-    def __call__(self, x: Tensor, position_offset: int = 0) -> Tensor:
-        """Rotate ``x`` of shape ``(..., T, head_dim)`` by position."""
-        seq_len = x.shape[-2]
-        if position_offset + seq_len > self.max_seq_len:
+    def tables(self, position_offset: int, seq_len: int
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Memoised ``(cos, sin)`` views for ``[offset, offset + seq)``."""
+        key = (position_offset, seq_len)
+        hit = self._slices.get(key)
+        if hit is None:
+            if position_offset + seq_len > self.max_seq_len:
+                raise ValueError(
+                    f"sequence [{position_offset}, {position_offset + seq_len}) "
+                    f"exceeds max_seq_len={self.max_seq_len}")
+            hit = (self.cos[position_offset:position_offset + seq_len],
+                   self.sin[position_offset:position_offset + seq_len])
+            self._slices[key] = hit
+        return hit
+
+    def __call__(self, x: Tensor, position_offset: int = 0,
+                 positions: np.ndarray | None = None) -> Tensor:
+        """Rotate ``x`` of shape ``(..., T, head_dim)`` by position.
+
+        With ``positions`` (an integer ``(batch, T)`` array of absolute
+        positions, for ``x`` of shape ``(batch, heads, T, head_dim)``)
+        each batch row is rotated by its own positions — the ragged-batch
+        decode path of the serving engine.
+        """
+        if positions is not None:
+            return self._rotate_positions(x, positions)
+        cos, sin = self.tables(position_offset, x.shape[-2])
+        return _apply_rotation(x, cos, sin)
+
+    def _rotate_positions(self, x: Tensor, positions: np.ndarray) -> Tensor:
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.min() < 0 or positions.max() >= self.max_seq_len:
             raise ValueError(
-                f"sequence [{position_offset}, {position_offset + seq_len}) exceeds "
-                f"max_seq_len={self.max_seq_len}")
-        cos = self.cos[position_offset:position_offset + seq_len]
-        sin = self.sin[position_offset:position_offset + seq_len]
+                f"positions outside [0, {self.max_seq_len}): "
+                f"[{positions.min()}, {positions.max()}]")
+        cos = self.cos[positions][:, None]  # (batch, 1, T, head_dim/2)
+        sin = self.sin[positions][:, None]
         return _apply_rotation(x, cos, sin)
 
 

@@ -41,7 +41,10 @@ class TransformerBlock(Module):
         self.ffn = FeedForward(d_model, d_ff, rng=rng)
 
     def forward(self, x: Tensor, cache: KVCache | None = None,
-                layer_index: int = 0) -> Tensor:
-        x = x + self.attn(self.attn_norm(x), cache=cache, layer_index=layer_index)
+                layer_index: int = 0, positions=None, kv_mask=None,
+                cache_rows=None) -> Tensor:
+        x = x + self.attn(self.attn_norm(x), cache=cache, layer_index=layer_index,
+                          positions=positions, kv_mask=kv_mask,
+                          cache_rows=cache_rows)
         x = x + self.ffn(self.ffn_norm(x))
         return x

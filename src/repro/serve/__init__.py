@@ -1,0 +1,19 @@
+"""Batched serving engine: continuous batching over a preallocated KV cache.
+
+The FineQ co-design story (like MixPE and FGMP) only pays off if the
+software decode loop is not the bottleneck.  This package provides the
+batched generation engine the rest of the repo serves through, plus the
+throughput benchmarking utilities that keep its speedup a tracked number.
+"""
+
+from repro.serve.engine import (Completion, EngineStats, GenerationEngine,
+                                Request)
+from repro.serve.bench import (ThroughputPoint, ThroughputReport,
+                               bench_prompts, engine_throughput,
+                               sequential_throughput, throughput_sweep)
+
+__all__ = [
+    "Completion", "EngineStats", "GenerationEngine", "Request",
+    "ThroughputPoint", "ThroughputReport", "bench_prompts",
+    "engine_throughput", "sequential_throughput", "throughput_sweep",
+]

@@ -1,0 +1,5 @@
+"""CLI entry point: ``PYTHONPATH=src python -m repro.serve [--smoke]``."""
+
+from repro.serve.bench import main
+
+main()

@@ -1,0 +1,283 @@
+"""Continuous-batching generation engine.
+
+One engine step forwards every cache slot at once: a single-token decode
+for the whole batch, with per-row RoPE positions and an additive key mask
+so sequences of different lengths share one preallocated
+:class:`~repro.nn.kv_cache.KVCache`.  Finished sequences free their slot
+immediately and waiting prompts are prefilled into the freed rows as a
+sub-batch (``cache_rows``), so the batch stays full while the queue
+drains — the standard continuous-batching discipline, scaled down.
+
+Greedy decoding is token-identical to the sequential
+:meth:`repro.nn.model.TransformerLM.generate` path: per-row positions
+match the sequential position counter exactly, and masked cache slots
+contribute exact zeros to the attention averages.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.nn.kv_cache import KVCache
+from repro.nn.model import TransformerLM
+
+
+@dataclass(frozen=True)
+class Request:
+    """One queued generation request."""
+
+    request_id: int
+    prompt: np.ndarray
+    max_new_tokens: int
+    temperature: float = 0.0
+
+
+@dataclass
+class Completion:
+    """A finished request: prompt plus generated continuation."""
+
+    request_id: int
+    tokens: np.ndarray
+    prompt_len: int
+    finish_reason: str  # "length" | "eos" | "max_seq_len"
+
+    @property
+    def new_tokens(self) -> np.ndarray:
+        return self.tokens[self.prompt_len:]
+
+
+@dataclass
+class EngineStats:
+    """Token/time accounting for throughput reporting."""
+
+    prefill_tokens: int = 0
+    prefill_seconds: float = 0.0
+    decode_tokens: int = 0
+    decode_seconds: float = 0.0
+    decode_steps: int = 0
+    decode_slot_steps: int = 0  # steps x batch slots (for occupancy)
+
+    @property
+    def prefill_tokens_per_s(self) -> float:
+        return self.prefill_tokens / self.prefill_seconds if self.prefill_seconds else 0.0
+
+    @property
+    def decode_tokens_per_s(self) -> float:
+        return self.decode_tokens / self.decode_seconds if self.decode_seconds else 0.0
+
+    @property
+    def occupancy(self) -> float:
+        """Mean fraction of batch slots doing useful decode work."""
+        return self.decode_tokens / self.decode_slot_steps if self.decode_slot_steps else 0.0
+
+
+@dataclass
+class _Slot:
+    """Live per-row decoding state."""
+
+    request: Request
+    generated: list[int] = field(default_factory=list)
+
+
+class GenerationEngine:
+    """Batched generation over a fixed pool of KV-cache slots.
+
+    Parameters
+    ----------
+    model:
+        The language model to serve (any :class:`TransformerLM`,
+        quantized or not).
+    max_batch_size:
+        Number of cache slots, i.e. the decode batch width.
+    eos_token:
+        Optional token id that terminates a sequence early.
+    rng:
+        Generator for temperature sampling (one shared stream; greedy
+        requests consume nothing).
+    """
+
+    def __init__(self, model: TransformerLM, max_batch_size: int = 8,
+                 eos_token: int | None = None,
+                 rng: np.random.Generator | None = None,
+                 initial_capacity: int = 64):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.model = model
+        self.max_batch_size = max_batch_size
+        self.eos_token = eos_token
+        self.rng = rng or np.random.default_rng(0)
+        self.initial_capacity = initial_capacity
+        self.stats = EngineStats()
+        self._queue: deque[Request] = deque()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # request intake
+    # ------------------------------------------------------------------ #
+    def submit(self, prompt: np.ndarray, max_new_tokens: int,
+               temperature: float = 0.0) -> int:
+        """Queue a request; returns its id (completions carry it back)."""
+        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        if prompt.size == 0:
+            raise ValueError("prompt must contain at least one token")
+        if prompt.size > self.model.config.max_seq_len:
+            raise ValueError(f"prompt of {prompt.size} tokens exceeds "
+                             f"max_seq_len={self.model.config.max_seq_len}")
+        if max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        request = Request(request_id=self._next_id, prompt=prompt,
+                          max_new_tokens=max_new_tokens,
+                          temperature=temperature)
+        self._next_id += 1
+        self._queue.append(request)
+        return request.request_id
+
+    def generate_batch(self, prompts: list[np.ndarray], max_new_tokens: int,
+                       temperature: float = 0.0) -> list[np.ndarray]:
+        """Serve ``prompts`` and return full token arrays in input order."""
+        ids = [self.submit(p, max_new_tokens, temperature) for p in prompts]
+        done = {c.request_id: c for c in self.run()}
+        return [done[i].tokens for i in ids]
+
+    def reset_stats(self) -> None:
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------ #
+    # the serving loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> list[Completion]:
+        """Drain the queue with continuous batching; return completions."""
+        if not self._queue:
+            return []
+        batch = min(self.max_batch_size, len(self._queue))
+        cache = KVCache(self.model.config.num_layers, batch=batch,
+                        initial_capacity=self.initial_capacity)
+        slots: list[_Slot | None] = [None] * batch
+        lengths = np.zeros(batch, dtype=np.int64)   # context tokens per row
+        pending = np.zeros(batch, dtype=np.int64)   # next token to feed
+        completions: list[Completion] = []
+
+        with no_grad():
+            self._admit(cache, slots, lengths, pending, completions)
+            while any(slot is not None for slot in slots):
+                self._decode_step(cache, slots, lengths, pending, completions)
+                if self._queue and any(slot is None for slot in slots):
+                    self._admit(cache, slots, lengths, pending, completions)
+        return completions
+
+    def _decode_step(self, cache: KVCache, slots: list[_Slot | None],
+                     lengths: np.ndarray, pending: np.ndarray,
+                     completions: list[Completion]) -> None:
+        """One whole-batch single-token decode + vectorized sampling."""
+        batch = len(slots)
+        active = np.array([slot is not None for slot in slots])
+        # Free rows decode a dummy token at position 0; their slot-0 cache
+        # entry is garbage that the next prefill overwrites, and their
+        # logits are never sampled.
+        positions = np.where(active, lengths, 0)
+        total = max(cache.seq_len, int(positions.max()) + 1)
+        valid = np.where(active, positions + 1, total)
+        kv_mask = np.where(np.arange(total)[None, :] < valid[:, None],
+                           0.0, -np.inf).astype(np.float32)[:, None, None, :]
+
+        start = time.perf_counter()
+        logits = self.model(pending[:, None], cache=cache,
+                            positions=positions[:, None], kv_mask=kv_mask)
+        self.stats.decode_seconds += time.perf_counter() - start
+        self.stats.decode_tokens += int(active.sum())
+        self.stats.decode_steps += 1
+        self.stats.decode_slot_steps += batch
+
+        lengths[active] += 1
+        temperatures = np.array([slot.request.temperature if slot else 0.0
+                                 for slot in slots])
+        sampled = self._sample(logits.data[:, -1], temperatures)
+        for row, slot in enumerate(slots):
+            if slot is None:
+                continue
+            token = int(sampled[row])
+            slot.generated.append(token)
+            pending[row] = token
+            self._maybe_finish(row, slots, lengths, completions)
+
+    def _admit(self, cache: KVCache, slots: list[_Slot | None],
+               lengths: np.ndarray, pending: np.ndarray,
+               completions: list[Completion]) -> None:
+        """Prefill waiting prompts into free slots until either runs out."""
+        while self._queue:
+            free = [row for row, slot in enumerate(slots) if slot is None]
+            if not free:
+                return
+            rows = free[:len(self._queue)]
+            requests = [self._queue.popleft() for _ in rows]
+            prompt_lens = np.array([len(r.prompt) for r in requests])
+            width = int(prompt_lens.max())
+            tokens = np.zeros((len(rows), width), dtype=np.int64)
+            for j, request in enumerate(requests):
+                tokens[j, :prompt_lens[j]] = request.prompt
+
+            start = time.perf_counter()
+            logits = self.model(tokens, cache=cache,
+                                cache_rows=np.asarray(rows))
+            self.stats.prefill_seconds += time.perf_counter() - start
+            self.stats.prefill_tokens += int(prompt_lens.sum())
+
+            # Sample each row's first token from its last *real* position.
+            last = logits.data[np.arange(len(rows)), prompt_lens - 1]
+            temperatures = np.array([r.temperature for r in requests])
+            first = self._sample(last, temperatures)
+            for j, (row, request) in enumerate(zip(rows, requests)):
+                slots[row] = _Slot(request=request,
+                                   generated=[int(first[j])])
+                lengths[row] = prompt_lens[j]
+                pending[row] = int(first[j])
+                self._maybe_finish(row, slots, lengths, completions)
+
+    def _maybe_finish(self, row: int, slots: list[_Slot | None],
+                      lengths: np.ndarray,
+                      completions: list[Completion]) -> None:
+        """Complete + free the slot if the row hit a termination condition."""
+        slot = slots[row]
+        request = slot.request
+        token = slot.generated[-1]
+        if self.eos_token is not None and token == self.eos_token:
+            reason = "eos"
+        elif len(slot.generated) >= request.max_new_tokens:
+            reason = "length"
+        elif lengths[row] >= self.model.config.max_seq_len:
+            # The next decode would write at position ``lengths[row]``,
+            # past the RoPE table (valid positions are < max_seq_len).
+            reason = "max_seq_len"
+        else:
+            return
+        tokens = np.concatenate([request.prompt,
+                                 np.asarray(slot.generated, dtype=np.int64)])
+        completions.append(Completion(request_id=request.request_id,
+                                      tokens=tokens,
+                                      prompt_len=len(request.prompt),
+                                      finish_reason=reason))
+        slots[row] = None
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def _sample(self, logits: np.ndarray, temperatures: np.ndarray
+                ) -> np.ndarray:
+        """Vectorized greedy/temperature sampling over ``(batch, vocab)``."""
+        greedy = logits.argmax(axis=-1)
+        hot = temperatures > 0.0
+        if not hot.any():
+            return greedy
+        scaled = logits / np.where(hot, temperatures, 1.0)[:, None]
+        scaled = scaled - scaled.max(axis=-1, keepdims=True)
+        probs = np.exp(scaled)
+        probs /= probs.sum(axis=-1, keepdims=True)
+        draws = self.rng.random(len(logits))
+        sampled = (probs.cumsum(axis=-1) < draws[:, None]).sum(axis=-1)
+        sampled = np.minimum(sampled, logits.shape[-1] - 1)
+        return np.where(hot, sampled, greedy)
