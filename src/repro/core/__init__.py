@@ -11,7 +11,8 @@ of 7 bytes per 24 weights = 2.33 bits/weight.
 from repro.core.clusters import (CLUSTER_SIZE, OUTLIER_RATIO, cluster_weights,
                                  detect_outlier_clusters, initial_schemes,
                                  SCHEME_WIDTHS, SCHEME_NAMES)
-from repro.core.encoding import (harmonize_pairs, scheme_reconstruction_error,
+from repro.core.encoding import (encode_channels, harmonize_pairs,
+                                 scheme_reconstruction_error,
                                  channel_scales, quantize_codes,
                                  dequantize_codes)
 from repro.core.quantizer import FineQQuantizer, FineQConfig
@@ -27,7 +28,8 @@ _register("fineq-gen", GeneralizedFineQ)
 __all__ = [
     "CLUSTER_SIZE", "OUTLIER_RATIO", "cluster_weights",
     "detect_outlier_clusters", "initial_schemes", "SCHEME_WIDTHS",
-    "SCHEME_NAMES", "harmonize_pairs", "scheme_reconstruction_error",
+    "SCHEME_NAMES", "encode_channels", "harmonize_pairs",
+    "scheme_reconstruction_error",
     "channel_scales", "quantize_codes", "dequantize_codes",
     "FineQQuantizer", "FineQConfig", "GeneralizedFineQ", "PackedMatrix",
     "pack_matrix", "unpack_matrix", "ServingMemoryLayout",

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.clusters import SCHEME_WIDTHS, qmax_for_widths
+from repro.core.clusters import (OUTLIER_RATIO, SCHEME_WIDTHS,
+                                 initial_schemes, qmax_for_widths)
 
 
 def round_half_away(x: np.ndarray) -> np.ndarray:
@@ -54,6 +55,29 @@ def quantize_codes(clusters: np.ndarray, schemes: np.ndarray,
 def dequantize_codes(codes: np.ndarray, scales: np.ndarray) -> np.ndarray:
     """Reconstruct real values from integer codes and channel scales."""
     return codes * scales
+
+
+def encode_channels(clusters: np.ndarray,
+                    outlier_ratio: float = OUTLIER_RATIO,
+                    harmonize: bool = True
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The full FineQ encode pipeline for pre-clustered channels.
+
+    Scheme selection -> Eq. 1 channel scales -> pair harmonization (with
+    the scale recompute only when harmonization changed a scheme) -> grid
+    rounding.  Single source of truth shared by the weight quantizer and
+    the quantized KV cache, so the two formats cannot drift.  Returns
+    ``(codes, schemes, scales)`` with ``scales`` shaped ``(rows, 1, 1)``.
+    """
+    schemes = initial_schemes(clusters, ratio=outlier_ratio)
+    scales = channel_scales(clusters, schemes)
+    if harmonize:
+        harmonized = harmonize_pairs(clusters, schemes, scales)
+        if harmonized is not schemes:
+            schemes = harmonized
+            scales = channel_scales(clusters, schemes)
+    codes = quantize_codes(clusters, schemes, scales)
+    return codes, schemes, scales
 
 
 def scheme_reconstruction_error(clusters: np.ndarray, scales: np.ndarray

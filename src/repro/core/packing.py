@@ -77,7 +77,11 @@ def _cluster_bits(codes: np.ndarray, schemes: np.ndarray) -> np.ndarray:
 
 
 def _bits_to_clusters(bits: np.ndarray, schemes: np.ndarray) -> np.ndarray:
-    """Decode ``(n, 6)`` bits + schemes back to ``(n, 3)`` integer codes."""
+    """Decode ``(n, 6)`` bits + schemes back to ``(n, 3)`` integer codes.
+
+    Reference per-bit implementation; the hot path decodes through
+    :data:`_DECODE_LUT` (built from this function) instead.
+    """
     n = bits.shape[0]
     codes = np.zeros((n, 3), dtype=np.int64)
 
@@ -98,6 +102,81 @@ def _bits_to_clusters(bits: np.ndarray, schemes: np.ndarray) -> np.ndarray:
 
     is_outlier = (schemes > 0)[:, None]
     return np.where(is_outlier, outlier, normal)
+
+
+def _build_decode_lut() -> np.ndarray:
+    """``(4, 64, 3)`` table: integer codes for every (scheme, 6-bit pattern).
+
+    There are only 64 possible data-bit patterns per cluster and 4 schemes,
+    so the whole decode space is enumerated once at import through the
+    reference :func:`_bits_to_clusters` and decoding becomes a single fancy
+    index instead of per-bit arithmetic.
+    """
+    patterns = np.arange(64)
+    bits = ((patterns[:, None] >> np.arange(5, -1, -1)[None, :]) & 1).astype(np.uint8)
+    lut = np.empty((4, 64, 3), dtype=np.int8)
+    for scheme in range(4):
+        lut[scheme] = _bits_to_clusters(bits, np.full(64, scheme, dtype=np.int64))
+    return lut
+
+
+#: Codes for every (scheme, 6-bit cluster pattern); the decode hot path.
+_DECODE_LUT = _build_decode_lut()
+
+
+def decode_payload(payload: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Decode packed group bytes via the pattern lookup table.
+
+    ``payload`` is ``(rows, groups * GROUP_BYTES)`` uint8 in the
+    :func:`pack_matrix` layout; returns ``(codes, schemes)`` of shapes
+    ``(rows, groups * 8, 3)`` (int8) and ``(rows, groups * 8)`` (uint8),
+    group padding still included.  6-bit cluster patterns are reassembled
+    with byte shifts (three data bytes hold four clusters) and looked up
+    in :data:`_DECODE_LUT`, replacing the per-bit ``unpackbits``/``where``
+    decode (see the micro-benchmark in ``benchmarks/test_kernels.py``).
+    All arithmetic stays in uint8 — every intermediate fits in 6 bits, so
+    the quantized-KV hot path never materialises widened copies.
+    """
+    rows = payload.shape[0]
+    grouped = np.ascontiguousarray(payload).reshape(rows, -1, GROUP_BYTES)
+
+    index = grouped[:, :, 0]
+    pairs = np.stack([(index >> 6) & 3, (index >> 4) & 3,
+                      (index >> 2) & 3, index & 3], axis=-1)
+    schemes = np.repeat(pairs.reshape(rows, -1), 2, axis=1)
+
+    data = grouped[:, :, 1:].reshape(rows, -1, 2, 3)  # two byte-triplets/group
+    b0, b1, b2 = data[..., 0], data[..., 1], data[..., 2]
+    patterns = np.stack([b0 >> 2,
+                         ((b0 & 0x03) << 4) | (b1 >> 4),
+                         ((b1 & 0x0F) << 2) | (b2 >> 6),
+                         b2 & 0x3F], axis=-1).reshape(rows, -1)
+
+    codes = _DECODE_LUT[schemes, patterns]
+    return codes, schemes
+
+
+def decode_payload_bitwise(payload: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-bit reference decode (the pre-LUT implementation).
+
+    Kept for the equivalence property test and as the baseline of the
+    pack/unpack micro-benchmark; production decode is :func:`decode_payload`.
+    """
+    rows = payload.shape[0]
+    grouped = payload.reshape(rows, -1, GROUP_BYTES)
+    groups = grouped.shape[1]
+    padded = groups * CLUSTERS_PER_GROUP
+
+    index_bytes = grouped[:, :, 0]
+    pair_bits = np.unpackbits(np.ascontiguousarray(index_bytes), axis=1)
+    pair_schemes = ((pair_bits[:, 0::2].astype(np.int64) << 1)
+                    | pair_bits[:, 1::2])[:, :padded // 2]
+    schemes = np.repeat(pair_schemes, 2, axis=1)
+
+    data_bytes = grouped[:, :, 1:].reshape(rows, groups * GROUP_DATA_BYTES)
+    bits = np.unpackbits(np.ascontiguousarray(data_bytes), axis=1).reshape(-1, 6)
+    codes = _bits_to_clusters(bits, schemes.reshape(-1)).reshape(rows, padded, 3)
+    return codes, schemes
 
 
 def pack_matrix(codes: np.ndarray, schemes: np.ndarray, scales: np.ndarray,
@@ -143,21 +222,9 @@ def unpack_matrix(packed: PackedMatrix) -> tuple[np.ndarray, np.ndarray, np.ndar
     the original matrix shape.
     """
     rows, cols = packed.shape
-    payload = packed.payload.reshape(rows, -1, GROUP_BYTES)
-    groups = payload.shape[1]
-    padded = groups * CLUSTERS_PER_GROUP
-
-    index_bytes = payload[:, :, 0]
-    pair_bits = np.unpackbits(index_bytes.reshape(rows, -1), axis=1)
-    pair_schemes = ((pair_bits[:, 0::2].astype(np.int64) << 1)
-                    | pair_bits[:, 1::2])[:, :padded // 2]
-    schemes = np.repeat(pair_schemes, 2, axis=1)
-
-    data_bytes = payload[:, :, 1:].reshape(rows, groups * GROUP_DATA_BYTES)
-    bits = np.unpackbits(data_bytes, axis=1).reshape(-1, 6)
-    codes = _bits_to_clusters(bits, schemes.reshape(-1)).reshape(rows, padded, 3)
-
-    codes = codes[:, :packed.num_clusters]
+    codes, schemes = decode_payload(packed.payload)
+    codes = codes[:, :packed.num_clusters].astype(np.int64)
+    schemes = schemes.astype(np.int64)
     schemes = schemes[:, :packed.num_clusters]
     scales = packed.scales.astype(np.float64).reshape(rows, 1, 1)
     dequantized = (codes * scales).reshape(rows, -1)[:, :cols].astype(np.float32)

@@ -15,10 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.clusters import (CLUSTER_SIZE, OUTLIER_RATIO, cluster_weights,
-                                 initial_schemes)
-from repro.core.encoding import (channel_scales, harmonize_pairs,
-                                 quantize_codes, dequantize_codes)
+from repro.core.clusters import CLUSTER_SIZE, OUTLIER_RATIO, cluster_weights
+from repro.core.encoding import encode_channels, dequantize_codes
 from repro.quant.base import Quantizer, QuantRecord
 
 
@@ -96,17 +94,9 @@ class FineQQuantizer(Quantizer):
             w = w.T.copy()
         rows, cols = w.shape
         clusters, pad = cluster_weights(w, self.config.cluster_size)
-
-        schemes = initial_schemes(clusters, ratio=self.config.outlier_ratio)
-        scales = channel_scales(clusters, schemes)
-        if self.config.harmonize:
-            harmonized = harmonize_pairs(clusters, schemes, scales)
-            if harmonized is not schemes:
-                # Scales only shift when harmonization changed a scheme.
-                schemes = harmonized
-                scales = channel_scales(clusters, schemes)
-
-        codes = quantize_codes(clusters, schemes, scales)
+        codes, schemes, scales = encode_channels(
+            clusters, outlier_ratio=self.config.outlier_ratio,
+            harmonize=self.config.harmonize)
         dequantized = dequantize_codes(codes, scales).reshape(rows, -1)
         if pad:
             dequantized = dequantized[:, :-pad]

@@ -1,13 +1,15 @@
 """Evaluation: perplexity harness and experiment sweep utilities."""
 
-from repro.eval.perplexity import perplexity, dataset_perplexity, eval_stream
+from repro.eval.perplexity import (cached_perplexity, perplexity,
+                                   dataset_perplexity, eval_stream)
 from repro.eval.harness import (clone_model, quantized_perplexity,
                                 run_method_sweep, MethodResult,
                                 default_calibration_batches)
 from repro.eval.tables import format_table, format_markdown
 
 __all__ = [
-    "perplexity", "dataset_perplexity", "eval_stream", "clone_model",
+    "cached_perplexity", "perplexity", "dataset_perplexity", "eval_stream",
+    "clone_model",
     "quantized_perplexity", "run_method_sweep", "MethodResult",
     "default_calibration_batches", "format_table", "format_markdown",
 ]

@@ -13,9 +13,12 @@ from repro.nn.attention import MultiHeadAttention
 from repro.nn.transformer import FeedForward, TransformerBlock
 from repro.nn.model import ModelConfig, TransformerLM
 from repro.nn.kv_cache import KVCache
+from repro.nn.paged_kv_cache import (DEFAULT_BLOCK_SIZE, PagedKVCache,
+                                     QuantizedPagedKVCache)
 
 __all__ = [
     "Module", "Parameter", "Linear", "Embedding", "RMSNorm",
     "RotaryEmbedding", "MultiHeadAttention", "FeedForward",
     "TransformerBlock", "ModelConfig", "TransformerLM", "KVCache",
+    "PagedKVCache", "QuantizedPagedKVCache", "DEFAULT_BLOCK_SIZE",
 ]

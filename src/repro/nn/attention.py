@@ -8,21 +8,34 @@ from repro.autograd import Tensor, functional as F
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.nn.rope import RotaryEmbedding
+from typing import TYPE_CHECKING
+
 from repro.nn.kv_cache import KVCache
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.core
+    from repro.nn.paged_kv_cache import PagedKVCache
 
 #: Memoised additive causal masks keyed by ``(seq, total)``.  Prefill and
 #: perplexity evaluation hit the same handful of shapes over and over; the
-#: single-token decode path never builds a mask at all.
+#: single-token decode path never builds a mask at all.  The cache is LRU
+#: bounded: perplexity evaluation walks many distinct ``(seq, total)``
+#: shapes and must not grow the process footprint without limit.
 _MASK_CACHE: dict[tuple[int, int], np.ndarray] = {}
+_MASK_CACHE_LIMIT = 64
 
 
 def causal_mask(seq: int, total: int) -> np.ndarray:
     """Additive ``(seq, total)`` causal mask (0 allowed, -inf future)."""
-    mask = _MASK_CACHE.get((seq, total))
+    key = (seq, total)
+    mask = _MASK_CACHE.get(key)
     if mask is None:
+        if len(_MASK_CACHE) >= _MASK_CACHE_LIMIT:
+            _MASK_CACHE.pop(next(iter(_MASK_CACHE)))  # evict least recent
         mask = np.triu(np.full((seq, total), -np.inf, dtype=np.float32),
                        k=1 + total - seq)
-        _MASK_CACHE[(seq, total)] = mask
+    else:
+        del _MASK_CACHE[key]  # re-insert below: keeps hot shapes resident
+    _MASK_CACHE[key] = mask
     return mask
 
 
@@ -50,10 +63,11 @@ class MultiHeadAttention(Module):
     def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
         return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
-    def forward(self, x: Tensor, cache: KVCache | None = None,
+    def forward(self, x: Tensor, cache: KVCache | PagedKVCache | None = None,
                 layer_index: int = 0, positions: np.ndarray | None = None,
                 kv_mask: np.ndarray | None = None,
-                cache_rows: np.ndarray | None = None) -> Tensor:
+                cache_rows: np.ndarray | None = None,
+                cache_lens: np.ndarray | None = None) -> Tensor:
         """Attend over ``x`` plus any cached context.
 
         ``positions`` (``(batch, seq)`` absolute positions) and ``kv_mask``
@@ -61,7 +75,11 @@ class MultiHeadAttention(Module):
         engine's ragged batches: each row rotates by its own positions and
         masks cache slots beyond its own length.  ``cache_rows`` routes a
         prefill into specific rows of a larger cache slot pool; those rows
-        are fresh, so the current K/V are the entire context.
+        are fresh, so the current K/V are the entire context, and
+        ``cache_lens`` carries each row's true (unpadded) length so paged
+        caches allocate and account only for real tokens.  ``cache`` may
+        be rectangular or paged (possibly quantized): all variants share
+        the same write methods and return full-context K/V arrays.
         """
         batch, seq, _ = x.shape
         if cache_rows is not None or cache is None:
@@ -77,7 +95,8 @@ class MultiHeadAttention(Module):
 
         if cache is not None:
             if cache_rows is not None:
-                cache.write_rows(layer_index, k.data, v.data, cache_rows)
+                cache.write_rows(layer_index, k.data, v.data, cache_rows,
+                                 row_lengths=cache_lens)
             elif positions is not None and seq == 1:
                 k_data, v_data = cache.write_token(layer_index, k.data, v.data,
                                                    positions[:, 0])

@@ -111,11 +111,16 @@ class KVCache:
         return self._views(layer)
 
     def write_rows(self, layer: int, k: np.ndarray, v: np.ndarray,
-                   rows: np.ndarray) -> None:
+                   rows: np.ndarray,
+                   row_lengths: np.ndarray | None = None) -> None:
         """Prefill batch rows ``rows`` from slot zero with ``k``/``v``.
 
         Fresh rows carry no prior context, so the caller's own K/V are the
         whole attention context and nothing needs to be read back.
+        ``row_lengths`` (true per-row lengths under right padding) is
+        accepted for interface parity with the paged caches; the
+        rectangle stores the padded width regardless and relies on the
+        engine's key mask to hide padding slots.
         """
         if self.batch is None:
             raise ValueError("write_rows needs a cache with a pinned batch")
@@ -125,6 +130,10 @@ class KVCache:
         self._keys[layer][rows, :, :seq] = k
         self._values[layer][rows, :, :seq] = v
         self._lengths[layer] = max(self._lengths[layer], seq)
+
+    def free_rows(self, rows: np.ndarray) -> None:
+        """Interface parity with the paged caches: rectangular rows are
+        reused in place by the next ``write_rows``, nothing to release."""
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -149,6 +158,21 @@ class KVCache:
             if k is not None:
                 batch, heads, _, head_dim = k.shape
                 total += 2 * batch * heads * length * head_dim * bytes_per_element
+        return total
+
+    def used_bytes(self) -> int:
+        """Actual bytes of the used slots at the buffers' stored dtype.
+
+        Unlike :meth:`num_bytes` (a logical FP16 projection for the
+        serving-memory experiment), this is what the resident numpy
+        arrays really hold for the cached tokens — the rectangle's whole
+        batch pays for the globally longest row.
+        """
+        total = 0
+        for k, length in zip(self._keys, self._lengths):
+            if k is not None:
+                batch, heads, _, head_dim = k.shape
+                total += 2 * batch * heads * length * head_dim * k.itemsize
         return total
 
     def allocated_bytes(self, bytes_per_element: int = 2) -> int:

@@ -65,12 +65,23 @@ class TransformerLM(Module):
     def forward(self, tokens: np.ndarray, cache: KVCache | None = None,
                 positions: np.ndarray | None = None,
                 kv_mask: np.ndarray | None = None,
-                cache_rows: np.ndarray | None = None) -> Tensor:
+                cache_rows: np.ndarray | None = None,
+                cache_lens: np.ndarray | None = None,
+                logits_positions: np.ndarray | None = None) -> Tensor:
         """Return logits ``(batch, seq, vocab)`` for integer ``tokens``.
 
-        ``positions``/``kv_mask``/``cache_rows`` thread the serving
-        engine's ragged-batch decode and slot-targeted prefill through to
-        attention (see :class:`repro.nn.attention.MultiHeadAttention`).
+        ``positions``/``kv_mask``/``cache_rows``/``cache_lens`` thread the
+        serving engine's ragged-batch decode and slot-targeted prefill
+        through to attention (see
+        :class:`repro.nn.attention.MultiHeadAttention`).
+
+        ``logits_positions`` (``(batch,)`` per-row indices into ``seq``)
+        is the lean prefill path: the final norm and vocab projection run
+        only at each row's selected position, returning ``(batch, 1,
+        vocab)``, so prefill cost stops scaling with ``vocab x seq``.
+        Generation only ever samples from one position per row — the rest
+        of the ``(batch, seq, vocab)`` logits would be computed and
+        discarded.  Inference-only: the gather detaches from autograd.
         """
         tokens = np.asarray(tokens)
         if tokens.ndim == 1:
@@ -78,7 +89,12 @@ class TransformerLM(Module):
         x = self.embed(tokens)
         for index, block in enumerate(self.blocks):
             x = block(x, cache=cache, layer_index=index, positions=positions,
-                      kv_mask=kv_mask, cache_rows=cache_rows)
+                      kv_mask=kv_mask, cache_rows=cache_rows,
+                      cache_lens=cache_lens)
+        if logits_positions is not None:
+            rows = np.arange(x.shape[0])
+            last = np.asarray(logits_positions, dtype=np.int64)
+            x = Tensor(x.data[rows, last][:, None])
         return self.head(self.final_norm(x))
 
     # ------------------------------------------------------------------ #

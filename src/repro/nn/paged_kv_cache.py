@@ -1,0 +1,528 @@
+"""Paged, block-granular KV storage for the serving engine.
+
+The rectangular :class:`~repro.nn.kv_cache.KVCache` allocates
+``batch x capacity`` time slots per layer, so every short sequence pays
+for the longest row and cache memory — not compute — caps the decode
+batch size.  Here K/V live in fixed-size *blocks* (``block_size`` tokens)
+drawn from one shared pool per layer; each batch row owns an ordered
+block table, blocks are handed out as rows grow and returned to the free
+list when the engine retires a sequence.  Cache memory therefore tracks
+the *sum of live tokens* (rounded up to blocks) instead of
+``batch x max_len`` — the PagedAttention discipline, scaled down to
+numpy.
+
+Two variants share the interface of the rectangular cache (``append`` /
+``write_token`` / ``write_rows`` plus ``free_rows``), so attention and
+the model are agnostic to which cache is threaded through:
+
+* :class:`PagedKVCache` stores blocks in FP32.  Reads gather whole
+  blocks and return the same float values a rectangular cache would, so
+  greedy engine output stays token-identical to the sequential path.
+* :class:`QuantizedPagedKVCache` stores *full* blocks in the FineQ
+  weight format of :mod:`repro.core` — cluster-of-3 codes packed at 6
+  bits per cluster with a shared 2-bit pair index and one FP16 scale per
+  ``(head, dim)`` channel, clustered along the token axis — extending
+  the paper's 2.33-bit memory story from weights to the KV cache.  The
+  newest (current) block of every row stays in an FP32 write buffer and
+  is quantized wholesale once the row starts its next block, so decode
+  always reads exact values for the freshest ``<= block_size`` tokens
+  and FineQ reconstructions for older context.
+
+Block tables are shared across layers (block ``i`` of a row addresses
+every layer's pool), which keeps allocation single-sourced while the
+per-layer write/read state may lag mid-forward.  Freed and padded table
+slots may be gathered before they are reused; they only ever contain
+finite stale values (pools are zero-initialised), which the engine's
+additive key mask turns into exact-zero attention contributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clusters import cluster_weights
+from repro.core.encoding import encode_channels
+from repro.core.packing import (CLUSTERS_PER_GROUP, GROUP_BYTES,
+                                decode_payload, pack_matrix)
+
+#: Tokens per cache block (vLLM's default granularity).
+DEFAULT_BLOCK_SIZE = 16
+
+
+def quantize_kv_block(blocks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """FineQ-encode ``(n, heads, block, head_dim)`` FP32 K/V blocks.
+
+    Each ``(head, dim)`` pair is a channel; its ``block`` tokens are
+    clustered in threes along the token axis and run through the paper's
+    pipeline (outlier schemes -> pair harmonization -> Eq. 1 channel
+    scale -> grid rounding -> 6-bit packing).  Returns ``(payload,
+    scales)`` of shapes ``(n * heads * head_dim, groups * GROUP_BYTES)``
+    uint8 and ``(n * heads * head_dim,)`` float16.
+    """
+    n, heads, block, head_dim = blocks.shape
+    matrix = blocks.transpose(0, 1, 3, 2).reshape(n * heads * head_dim, block)
+    clusters, _pad = cluster_weights(matrix)
+    codes, schemes, scales = encode_channels(clusters)
+    packed = pack_matrix(codes, schemes, scales.reshape(-1), matrix.shape)
+    return packed.payload, packed.scales
+
+
+def dequantize_kv_channels(payload: np.ndarray, scales: np.ndarray,
+                           block_size: int) -> np.ndarray:
+    """Inverse of :func:`quantize_kv_block` at the channel-matrix level.
+
+    ``payload``/``scales`` are ``(channels, groups * GROUP_BYTES)`` and
+    ``(channels,)``; returns ``(channels, block_size)`` float32.
+    """
+    codes, _ = decode_payload(payload)
+    values = codes.astype(np.float32) * scales.astype(np.float32)[:, None, None]
+    return values.reshape(len(payload), -1)[:, :block_size]
+
+
+def _blocks_needed(tokens: int | np.ndarray, block_size: int):
+    return -(-tokens // block_size)
+
+
+class PagedKVCache:
+    """Block-pooled FP32 K/V storage with per-row block tables.
+
+    Parameters
+    ----------
+    num_layers:
+        Transformer depth (one K and one V pool per layer).
+    batch:
+        Number of cache slots; the paged cache always pins its batch
+        (it is a serving-engine object).
+    block_size:
+        Tokens per block.
+    initial_blocks:
+        Pool size at first write; when the free list runs dry the pool
+        grows by half (floored at ``batch`` blocks) — amortized like the
+        rectangular cache's doubling, but fine-grained enough that the
+        physical footprint tracks live-token demand instead of jumping
+        straight to the ``batch x max_len`` rectangle.
+    """
+
+    def __init__(self, num_layers: int, batch: int,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 initial_blocks: int | None = None):
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.num_layers = num_layers
+        self.batch = batch
+        self.block_size = block_size
+        self.initial_blocks = initial_blocks or 2 * batch
+        self._heads: int | None = None
+        self._head_dim = 0
+        self._total_blocks = 0
+        self._free: list[int] = []
+        self._tables = np.zeros((batch, 0), dtype=np.int64)
+        self._blocks_per_row = np.zeros(batch, dtype=np.int64)
+        self._row_len = np.zeros(batch, dtype=np.int64)
+        self._row_index = np.arange(batch)
+        self._lengths = [0] * num_layers
+
+    # ------------------------------------------------------------------ #
+    # storage management
+    # ------------------------------------------------------------------ #
+    def _init_storage(self, like: np.ndarray) -> None:
+        self._heads = int(like.shape[1])
+        self._head_dim = int(like.shape[3])
+        self._setup_layers()
+        self._grow_pool(max(self.initial_blocks, 1))
+
+    def _check_batch(self, data: np.ndarray) -> None:
+        if data.shape[0] != self.batch:
+            raise ValueError(f"batch mismatch: cache pinned to {self.batch} "
+                             f"rows, got {data.shape[0]}")
+
+    def _setup_layers(self) -> None:
+        self._pool_k: list[np.ndarray | None] = [None] * self.num_layers
+        self._pool_v: list[np.ndarray | None] = [None] * self.num_layers
+
+    def _grow_pool(self, new_total: int) -> None:
+        for layer in range(self.num_layers):
+            self._grow_layer(layer, new_total)
+        self._free.extend(range(self._total_blocks, new_total))
+        self._total_blocks = new_total
+
+    def _grow_layer(self, layer: int, new_total: int) -> None:
+        shape = (new_total, self._heads, self.block_size, self._head_dim)
+        for pool in (self._pool_k, self._pool_v):
+            old = pool[layer]
+            # Zero-filled on purpose: stale/padded block reads must stay
+            # finite so masked rows contribute exact zeros, never NaNs.
+            new = np.zeros(shape, dtype=np.float32)
+            if old is not None:
+                new[:old.shape[0]] = old
+            pool[layer] = new
+
+    def _take_block(self) -> int:
+        if not self._free:
+            growth = max(self.batch, self._total_blocks // 2, 1)
+            self._grow_pool(self._total_blocks + growth)
+        return self._free.pop()
+
+    def _ensure_row_blocks(self, rows: np.ndarray, needed: np.ndarray) -> None:
+        """Grow block tables so each of ``rows`` owns ``needed`` blocks."""
+        if np.all(needed <= self._blocks_per_row[rows]):
+            return  # steady-state decode: no row crossed a block boundary
+        width = self._tables.shape[1]
+        max_needed = int(np.max(needed, initial=0))
+        if max_needed > width:
+            wider = np.zeros((self.batch, max(max_needed, 2 * width)),
+                             dtype=np.int64)
+            wider[:, :width] = self._tables
+            self._tables = wider
+        for row, need in zip(np.asarray(rows).reshape(-1), np.asarray(needed).reshape(-1)):
+            have = int(self._blocks_per_row[row])
+            while have < need:
+                self._tables[row, have] = self._take_block()
+                have += 1
+            self._blocks_per_row[row] = max(self._blocks_per_row[row], need)
+
+    def free_rows(self, rows: np.ndarray) -> None:
+        """Return the blocks of retired sequences to the shared pool."""
+        for row in np.asarray(rows, dtype=np.int64).reshape(-1):
+            count = int(self._blocks_per_row[row])
+            self._free.extend(int(b) for b in self._tables[row, :count])
+            self._blocks_per_row[row] = 0
+            self._row_len[row] = 0
+
+    # ------------------------------------------------------------------ #
+    # write paths (rectangular-cache interface)
+    # ------------------------------------------------------------------ #
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Uniform append for all batch rows; returns gathered context."""
+        self._check_batch(k)
+        if self._heads is None:
+            self._init_storage(k)
+        start = self._lengths[layer]
+        seq = k.shape[2]
+        stop = start + seq
+        bs = self.block_size
+        rows = self._row_index
+        self._ensure_row_blocks(rows, np.full(self.batch,
+                                              _blocks_needed(stop, bs)))
+        for block in range(start // bs, (stop - 1) // bs + 1):
+            lo, hi = max(start, block * bs), min(stop, (block + 1) * bs)
+            ids = self._tables[:, block]
+            self._pool_k[layer][ids, :, lo - block * bs:hi - block * bs] = \
+                k[:, :, lo - start:hi - start]
+            self._pool_v[layer][ids, :, lo - block * bs:hi - block * bs] = \
+                v[:, :, lo - start:hi - start]
+        self._lengths[layer] = stop
+        self._row_len = np.maximum(self._row_len, stop)
+        return self._context(layer)
+
+    def write_token(self, layer: int, k: np.ndarray, v: np.ndarray,
+                    positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Scatter one decode token per batch row at ``positions``."""
+        self._check_batch(k)
+        if self._heads is None:
+            self._init_storage(k)
+        positions = np.asarray(positions, dtype=np.int64)
+        bs = self.block_size
+        rows = self._row_index
+        blocks = positions // bs
+        self._ensure_row_blocks(rows, blocks + 1)
+        ids = self._tables[rows, blocks]
+        slots = positions % bs
+        self._pool_k[layer][ids, :, slots] = k[:, :, 0]
+        self._pool_v[layer][ids, :, slots] = v[:, :, 0]
+        self._lengths[layer] = max(self._lengths[layer],
+                                   int(positions.max()) + 1)
+        np.maximum(self._row_len, positions + 1, out=self._row_len)
+        return self._context(layer)
+
+    def write_rows(self, layer: int, k: np.ndarray, v: np.ndarray,
+                   rows: np.ndarray,
+                   row_lengths: np.ndarray | None = None) -> None:
+        """Prefill batch rows ``rows`` from slot zero (fresh sequences).
+
+        ``row_lengths`` gives each row's *true* prompt length when ``k``/
+        ``v`` are right-padded to a common width (the engine's ragged
+        sub-batch admits); rows then only own and account for the blocks
+        their real tokens need.  Without it every row spans ``k``'s full
+        width.
+        """
+        if self._heads is None:
+            self._init_storage(k)
+        rows = np.asarray(rows, dtype=np.int64)
+        seq = k.shape[2]
+        lens = (np.full(len(rows), seq, dtype=np.int64)
+                if row_lengths is None
+                else np.asarray(row_lengths, dtype=np.int64))
+        bs = self.block_size
+        per_row_blocks = _blocks_needed(lens, bs)
+        self._ensure_row_blocks(rows, per_row_blocks)
+        max_blocks = int(per_row_blocks.max())
+        owned = np.arange(max_blocks)[None, :] < per_row_blocks[:, None]
+        ids = self._tables[rows][:, :max_blocks][owned]
+        self._pool_k[layer][ids] = self._as_blocks(k, max_blocks)[owned]
+        self._pool_v[layer][ids] = self._as_blocks(v, max_blocks)[owned]
+        self._lengths[layer] = max(self._lengths[layer], int(lens.max()))
+        self._row_len[rows] = np.maximum(self._row_len[rows], lens)
+
+    def _as_blocks(self, data: np.ndarray, nblk: int) -> np.ndarray:
+        """``(n, heads, seq, hd)`` -> ``(n, nblk, heads, block, hd)``."""
+        n, heads, seq, head_dim = data.shape
+        bs = self.block_size
+        width = min(seq, nblk * bs)
+        padded = np.zeros((n, heads, nblk * bs, head_dim), dtype=np.float32)
+        padded[:, :, :width] = data[:, :, :width]
+        return padded.reshape(n, heads, nblk, bs, head_dim) \
+                     .transpose(0, 2, 1, 3, 4)
+
+    # ------------------------------------------------------------------ #
+    # read path
+    # ------------------------------------------------------------------ #
+    def _block_ids(self, nblk: int) -> np.ndarray:
+        """Per-row block ids padded to ``nblk`` columns (pad gathers block
+        0 — finite stale data that per-row masks zero out)."""
+        width = self._tables.shape[1]
+        if width >= nblk:
+            return self._tables[:, :nblk]
+        ids = np.zeros((self.batch, nblk), dtype=np.int64)
+        ids[:, :width] = self._tables
+        return ids
+
+    def _context(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        total = self._lengths[layer]
+        nblk = _blocks_needed(total, self.block_size)
+        ids = self._block_ids(nblk)
+        return (self._gather(self._pool_k[layer], ids)[:, :, :total],
+                self._gather(self._pool_v[layer], ids)[:, :, :total])
+
+    def _gather(self, pool: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        batch, nblk = ids.shape
+        blocks = pool[ids]  # (batch, nblk, heads, block, head_dim)
+        return blocks.transpose(0, 2, 1, 3, 4).reshape(
+            batch, self._heads, nblk * self.block_size, self._head_dim)
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def seq_len(self) -> int:
+        return self._lengths[0]
+
+    def layer_len(self, layer: int) -> int:
+        """Cached time steps for ``layer`` (may lag ``seq_len`` mid-forward)."""
+        return self._lengths[layer]
+
+    @property
+    def cached_tokens(self) -> int:
+        """Live tokens across all rows (idle rows decoding dummy tokens
+        register one slot-0 token until the row is prefilled again)."""
+        return int(self._row_len.sum())
+
+    def blocks_in_use(self) -> int:
+        return int(self._blocks_per_row.sum())
+
+    def used_bytes(self) -> int:
+        """Bytes storing the currently cached tokens (FP32 here)."""
+        if self._heads is None:
+            return 0
+        per_token = 2 * self._heads * self._head_dim * 4
+        return self.num_layers * per_token * self.cached_tokens
+
+    def allocated_bytes(self) -> int:
+        """Physical pool footprint, free blocks included."""
+        if self._heads is None:
+            return 0
+        block_bytes = self._heads * self.block_size * self._head_dim * 4
+        return self.num_layers * 2 * self._total_blocks * block_bytes
+
+
+class QuantizedPagedKVCache(PagedKVCache):
+    """Paged cache whose full blocks are stored in the FineQ format.
+
+    Storage per layer: ``payload`` pools of packed 6-bit cluster codes
+    (uint8) plus FP16 per-channel scale pools for K and V, and one FP32
+    write buffer of ``(batch, heads, block, head_dim)`` holding every
+    row's current block.  A row's block is quantized in one shot when the
+    row writes the first token of its *next* block, so ``block_size`` is
+    also the exactness horizon: the newest ``<= block_size`` tokens of
+    each row always read back bit-exact.
+
+    ``_blocks_per_row`` counts *quantized* blocks only; the current
+    block lives in the write buffer and owns no pool block yet.
+    """
+
+    def _setup_layers(self) -> None:
+        bs = self.block_size
+        clusters = _blocks_needed(bs, 3)
+        groups = _blocks_needed(clusters, CLUSTERS_PER_GROUP)
+        self._channels = self._heads * self._head_dim
+        self._payload_bytes = groups * GROUP_BYTES
+        layers = self.num_layers
+        self._payload_k: list[np.ndarray | None] = [None] * layers
+        self._payload_v: list[np.ndarray | None] = [None] * layers
+        self._scale_k: list[np.ndarray | None] = [None] * layers
+        self._scale_v: list[np.ndarray | None] = [None] * layers
+        buf_shape = (self.batch, self._heads, bs, self._head_dim)
+        self._buf_k = [np.zeros(buf_shape, dtype=np.float32)
+                       for _ in range(layers)]
+        self._buf_v = [np.zeros(buf_shape, dtype=np.float32)
+                       for _ in range(layers)]
+
+    def _grow_layer(self, layer: int, new_total: int) -> None:
+        specs = (
+            (self._payload_k, (self._channels, self._payload_bytes), np.uint8),
+            (self._payload_v, (self._channels, self._payload_bytes), np.uint8),
+            (self._scale_k, (self._channels,), np.float16),
+            (self._scale_v, (self._channels,), np.float16),
+        )
+        for pool, tail, dtype in specs:
+            old = pool[layer]
+            new = np.zeros((new_total,) + tail, dtype=dtype)
+            if old is not None:
+                new[:old.shape[0]] = old
+            pool[layer] = new
+
+    # ------------------------------------------------------------------ #
+    # write paths
+    # ------------------------------------------------------------------ #
+    def _quantize_into(self, layer: int, ids: np.ndarray,
+                       k_blocks: np.ndarray, v_blocks: np.ndarray) -> None:
+        count = len(ids)
+        for payload_pool, scale_pool, data in (
+                (self._payload_k[layer], self._scale_k[layer], k_blocks),
+                (self._payload_v[layer], self._scale_v[layer], v_blocks)):
+            payload, scales = quantize_kv_block(data)
+            payload_pool[ids] = payload.reshape(count, self._channels, -1)
+            scale_pool[ids] = scales.reshape(count, self._channels)
+
+    def write_token(self, layer: int, k: np.ndarray, v: np.ndarray,
+                    positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        self._check_batch(k)
+        if self._heads is None:
+            self._init_storage(k)
+        positions = np.asarray(positions, dtype=np.int64)
+        bs = self.block_size
+        rows = self._row_index
+        slots = positions % bs
+        # A row starting block b quantizes its buffered block b-1 first.
+        flush = (slots == 0) & (positions > 0)
+        if flush.any():
+            flush_rows = rows[flush]
+            block_index = positions[flush] // bs - 1
+            self._ensure_row_blocks(flush_rows, block_index + 1)
+            ids = self._tables[flush_rows, block_index]
+            self._quantize_into(layer, ids,
+                                self._buf_k[layer][flush_rows],
+                                self._buf_v[layer][flush_rows])
+        self._buf_k[layer][rows, :, slots] = k[:, :, 0]
+        self._buf_v[layer][rows, :, slots] = v[:, :, 0]
+        self._lengths[layer] = max(self._lengths[layer],
+                                   int(positions.max()) + 1)
+        np.maximum(self._row_len, positions + 1, out=self._row_len)
+        return self._context(layer)
+
+    def write_rows(self, layer: int, k: np.ndarray, v: np.ndarray,
+                   rows: np.ndarray,
+                   row_lengths: np.ndarray | None = None) -> None:
+        if self._heads is None:
+            self._init_storage(k)
+        rows = np.asarray(rows, dtype=np.int64)
+        seq = k.shape[2]
+        lens = (np.full(len(rows), seq, dtype=np.int64)
+                if row_lengths is None
+                else np.asarray(row_lengths, dtype=np.int64))
+        bs = self.block_size
+        # Each row's current (possibly exactly-full) block stays in the
+        # FP32 buffer; only its strictly earlier blocks are quantized.
+        # True per-row lengths matter here: the buffer/overlay alignment
+        # is derived from _row_len, so a padded width would shift it.
+        current = (lens - 1) // bs
+        max_current = int(current.max())
+        if max_current:
+            self._ensure_row_blocks(rows, current)
+            quantized = np.arange(max_current)[None, :] < current[:, None]
+            ids = self._tables[rows][:, :max_current][quantized]
+            self._quantize_into(layer, ids,
+                                self._as_blocks(k, max_current)[quantized],
+                                self._as_blocks(v, max_current)[quantized])
+        for j, row in enumerate(rows):
+            start = int(current[j]) * bs
+            fill = int(lens[j]) - start
+            self._buf_k[layer][row, :, :fill] = k[j, :, start:start + fill]
+            self._buf_v[layer][row, :, :fill] = v[j, :, start:start + fill]
+        self._lengths[layer] = max(self._lengths[layer], int(lens.max()))
+        self._row_len[rows] = np.maximum(self._row_len[rows], lens)
+
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Uniform single-token append (the cached-perplexity path)."""
+        if k.shape[2] != 1:
+            raise NotImplementedError(
+                "QuantizedPagedKVCache.append supports one token per step; "
+                "prefill through write_rows")
+        if self._heads is None:
+            self._init_storage(k)
+        positions = np.full(k.shape[0], self._lengths[layer], dtype=np.int64)
+        return self.write_token(layer, k, v, positions)
+
+    # ------------------------------------------------------------------ #
+    # read path
+    # ------------------------------------------------------------------ #
+    def _context(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        total = self._lengths[layer]
+        bs = self.block_size
+        nblk = _blocks_needed(total, bs)
+        # Decode only blocks a row actually owns (its quantized prefix):
+        # current blocks are overwritten by the FP32 overlay below and
+        # stale/padding table slots carry nothing, so decoding them would
+        # be wasted LUT work on the hot read path.  Unowned positions stay
+        # zero — finite, and masked or sliced away by the caller.
+        owned = np.arange(nblk)[None, :] < self._blocks_per_row[:, None]
+        flat_owned = owned.reshape(-1)
+        selected = self._block_ids(nblk).reshape(-1)[flat_owned]
+        live = np.nonzero(self._row_len > 0)[0]
+        current = (self._row_len[live] - 1) // bs
+        out = []
+        for payload_pool, scale_pool, buf in (
+                (self._payload_k[layer], self._scale_k[layer], self._buf_k[layer]),
+                (self._payload_v[layer], self._scale_v[layer], self._buf_v[layer])):
+            channels = np.zeros((self.batch * nblk, self._channels, bs),
+                                dtype=np.float32)
+            if selected.size:
+                channels[flat_owned] = dequantize_kv_channels(
+                    payload_pool[selected].reshape(-1, self._payload_bytes),
+                    scale_pool[selected].reshape(-1), bs
+                ).reshape(-1, self._channels, bs)
+            blocks = channels.reshape(self.batch, nblk, self._heads,
+                                      self._head_dim, bs) \
+                             .transpose(0, 1, 2, 4, 3)
+            # Overlay each live row's FP32 current block (exact values for
+            # the newest <= block_size tokens).
+            blocks[live, current] = buf[live]
+            out.append(blocks.transpose(0, 2, 1, 3, 4).reshape(
+                self.batch, self._heads, nblk * bs, self._head_dim)[:, :, :total])
+        return out[0], out[1]
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def used_bytes(self) -> int:
+        """Bytes storing the cached tokens: FineQ payload + FP16 scales
+        for quantized blocks, FP32 for tokens still in write buffers."""
+        if self._heads is None:
+            return 0
+        qblock = self._channels * (self._payload_bytes + 2)
+        buffered = int((self._row_len
+                        - self._blocks_per_row * self.block_size).sum())
+        per_buffered_token = self._heads * self._head_dim * 4
+        return self.num_layers * 2 * (self.blocks_in_use() * qblock
+                                      + buffered * per_buffered_token)
+
+    def allocated_bytes(self) -> int:
+        if self._heads is None:
+            return 0
+        qblock = self._channels * (self._payload_bytes + 2)
+        buffers = self.batch * self._heads * self.block_size * self._head_dim * 4
+        return self.num_layers * 2 * (self._total_blocks * qblock + buffers)

@@ -6,14 +6,16 @@ batched generation engine the rest of the repo serves through, plus the
 throughput benchmarking utilities that keep its speedup a tracked number.
 """
 
-from repro.serve.engine import (Completion, EngineStats, GenerationEngine,
-                                Request)
-from repro.serve.bench import (ThroughputPoint, ThroughputReport,
-                               bench_prompts, engine_throughput,
+from repro.serve.engine import (KV_CACHE_MODES, Completion, EngineStats,
+                                GenerationEngine, Request)
+from repro.serve.bench import (MemoryPoint, MemoryReport, ThroughputPoint,
+                               ThroughputReport, bench_prompts,
+                               engine_throughput, memory_point, memory_sweep,
                                sequential_throughput, throughput_sweep)
 
 __all__ = [
-    "Completion", "EngineStats", "GenerationEngine", "Request",
-    "ThroughputPoint", "ThroughputReport", "bench_prompts",
-    "engine_throughput", "sequential_throughput", "throughput_sweep",
+    "Completion", "EngineStats", "GenerationEngine", "KV_CACHE_MODES",
+    "Request", "MemoryPoint", "MemoryReport", "ThroughputPoint",
+    "ThroughputReport", "bench_prompts", "engine_throughput", "memory_point",
+    "memory_sweep", "sequential_throughput", "throughput_sweep",
 ]

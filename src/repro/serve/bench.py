@@ -1,17 +1,23 @@
-"""Decode/prefill throughput measurement for the serving engine.
+"""Throughput and cache-memory measurement for the serving engine.
 
 ``throughput_sweep`` compares the sequential one-sequence-at-a-time
 decode loop (the seed baseline) against the batched engine at several
-batch sizes, reporting prefill and decode tokens/sec.  Run directly for a
-smoke report on an untrained tiny model (fast enough for CI):
+batch sizes, reporting prefill and decode tokens/sec.  ``memory_sweep``
+serves longer generations through the paged FP32 and FineQ-quantized
+cache backends and reports bytes per cached token (at the live-token
+high-water mark) next to decode tokens/sec — the numbers behind the
+quantized-KV memory claim.  Run directly for a smoke report on an
+untrained tiny model (fast enough for CI):
 
     PYTHONPATH=src python -m repro.serve --smoke
+    PYTHONPATH=src python -m repro.serve --mem --smoke --json BENCH_serve_mem.json
 """
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, asdict
 
 import numpy as np
 
@@ -133,6 +139,114 @@ def throughput_sweep(model: TransformerLM, prompts: list[np.ndarray],
     return ThroughputReport(baseline=baseline, points=points)
 
 
+@dataclass(frozen=True)
+class MemoryPoint:
+    """One engine run: cache backend x batch size, memory + throughput."""
+
+    mode: str                    # "paged" | "fineq" | "dense"
+    batch_size: int
+    num_sequences: int
+    max_new_tokens: int
+    decode_tokens: int
+    decode_seconds: float
+    peak_cached_tokens: int      # live context tokens at the high-water mark
+    peak_used_bytes: int         # cache bytes for those tokens
+    peak_allocated_bytes: int    # physical pool footprint at the mark
+    dense_fp32_bytes: int        # rectangular batch x max_len equivalent
+
+    @property
+    def decode_tokens_per_s(self) -> float:
+        return self.decode_tokens / self.decode_seconds if self.decode_seconds else 0.0
+
+    @property
+    def bytes_per_cached_token(self) -> float:
+        return self.peak_used_bytes / self.peak_cached_tokens if self.peak_cached_tokens else 0.0
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Memory/throughput points for every measured (mode, batch) pair."""
+
+    model: str
+    block_size: int
+    points: tuple[MemoryPoint, ...]
+
+    def point(self, mode: str, batch_size: int) -> MemoryPoint:
+        for candidate in self.points:
+            if candidate.mode == mode and candidate.batch_size == batch_size:
+                return candidate
+        raise KeyError(f"no point for mode={mode!r} batch={batch_size}")
+
+    def rows(self) -> list[list[str]]:
+        out = []
+        for p in self.points:
+            out.append([p.mode, str(p.batch_size),
+                        f"{p.decode_tokens_per_s:,.0f}",
+                        f"{p.bytes_per_cached_token:,.1f}",
+                        f"{p.peak_allocated_bytes:,}",
+                        f"{p.dense_fp32_bytes:,}"])
+        return out
+
+    def to_dict(self) -> dict:
+        points = []
+        for p in self.points:
+            entry = asdict(p)
+            entry["decode_tokens_per_s"] = p.decode_tokens_per_s
+            entry["bytes_per_cached_token"] = p.bytes_per_cached_token
+            points.append(entry)
+        return {"model": self.model, "block_size": self.block_size,
+                "points": points}
+
+
+def memory_point(model: TransformerLM, prompts: list[np.ndarray],
+                 max_new_tokens: int, batch_size: int, mode: str,
+                 block_size: int = 16) -> MemoryPoint:
+    """Serve ``prompts`` through one cache backend and record memory stats."""
+    engine = GenerationEngine(model, max_batch_size=batch_size,
+                              kv_cache=mode, block_size=block_size)
+    engine.generate_batch(prompts, max_new_tokens)
+    stats = engine.stats
+    config = model.config
+    max_len = min(max(len(p) for p in prompts) + max_new_tokens,
+                  config.max_seq_len)
+    dense = KVCache.projected_bytes(
+        config.num_layers, config.num_heads,
+        config.d_model // config.num_heads, seq_len=max_len,
+        batch=batch_size, bytes_per_element=4)
+    return MemoryPoint(mode=mode, batch_size=batch_size,
+                       num_sequences=len(prompts),
+                       max_new_tokens=max_new_tokens,
+                       decode_tokens=stats.decode_tokens,
+                       decode_seconds=stats.decode_seconds,
+                       peak_cached_tokens=stats.kv_peak_tokens,
+                       peak_used_bytes=stats.kv_peak_used_bytes,
+                       peak_allocated_bytes=stats.kv_peak_allocated_bytes,
+                       dense_fp32_bytes=dense)
+
+
+def memory_sweep(model: TransformerLM, max_new_tokens: int = 112,
+                 batch_sizes: tuple[int, ...] = (16, 32, 64),
+                 modes: tuple[str, ...] = ("paged", "fineq"),
+                 block_size: int = 16, seed: int = 0) -> MemoryReport:
+    """Bytes/cached-token + decode tokens/sec per cache mode and batch.
+
+    Each batch size serves exactly ``batch_size`` prompts (one full wave)
+    long enough that most tokens live in completed, quantizable blocks —
+    the regime the paper's 2.33-bit memory story targets.
+    """
+    points = []
+    for mode in modes:
+        for batch_size in batch_sizes:
+            prompts = bench_prompts(model.config.vocab_size, num=batch_size,
+                                    max_prompt_len=16, min_prompt_len=8,
+                                    seed=seed)
+            points.append(memory_point(model, prompts, max_new_tokens,
+                                       batch_size, mode,
+                                       block_size=block_size))
+    return MemoryReport(model=model.config.name, block_size=block_size,
+                        points=tuple(points))
+
+
 def main(argv: list[str] | None = None) -> None:
     import argparse
 
@@ -143,9 +257,19 @@ def main(argv: list[str] | None = None) -> None:
                         help="zoo model name (default: untrained tiny model)")
     parser.add_argument("--smoke", action="store_true",
                         help="minimal settings for CI (implies tiny model)")
-    parser.add_argument("--num-prompts", type=int, default=16)
-    parser.add_argument("--max-new-tokens", type=int, default=32)
-    parser.add_argument("--batch-sizes", default="1,4,16")
+    parser.add_argument("--mem", action="store_true",
+                        help="run the paged/quantized cache memory sweep "
+                             "instead of the throughput sweep")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the report as JSON (--mem only)")
+    parser.add_argument("--num-prompts", type=int, default=None,
+                        help="prompts to serve (default 16; fixed at one "
+                             "full wave per batch size with --mem)")
+    parser.add_argument("--max-new-tokens", type=int, default=None,
+                        help="tokens per sequence (default 32; 112 with "
+                             "--mem so most tokens sit in full blocks)")
+    parser.add_argument("--batch-sizes", default=None,
+                        help="comma list (default 1,4,16; 16,32,64 with --mem)")
     args = parser.parse_args(argv)
 
     if args.model and not args.smoke:
@@ -157,9 +281,39 @@ def main(argv: list[str] | None = None) -> None:
         model = TransformerLM(tiny_config(vocab_size=256, seed=0))
         name = "tiny (untrained)"
 
-    max_new = 8 if args.smoke else args.max_new_tokens
-    num = min(args.num_prompts, 8) if args.smoke else args.num_prompts
-    batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
+    if args.json and not args.mem:
+        parser.error("--json requires --mem (only the memory sweep has a "
+                     "JSON report)")
+    if args.mem:
+        if args.num_prompts is not None:
+            parser.error("--num-prompts has no effect with --mem "
+                         "(each point serves one full wave of batch-size "
+                         "prompts); use --batch-sizes to scale the sweep")
+        batches = tuple(int(b) for b in
+                        (args.batch_sizes or "16,32,64").split(","))
+        max_new = ((24 if args.smoke else 112)
+                   if args.max_new_tokens is None else args.max_new_tokens)
+        report = memory_sweep(model, max_new_tokens=max_new,
+                              batch_sizes=batches)
+        print(f"paged/quantized KV cache memory on {name} "
+              f"({max_new} new tokens per sequence)")
+        print(format_table(["mode", "batch", "decode tok/s", "bytes/token",
+                            "allocated", "dense fp32"], report.rows()))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(report.to_dict(), handle, indent=2)
+            print(f"wrote {args.json}")
+        return
+
+    # `is None` (not `or`): an explicit 0 must reach the engine's loud
+    # validation instead of silently becoming a default.  Explicit values
+    # always win over --smoke's scaled-down defaults, as in --mem mode.
+    max_new = (args.max_new_tokens if args.max_new_tokens is not None
+               else (8 if args.smoke else 32))
+    num = (args.num_prompts if args.num_prompts is not None
+           else (8 if args.smoke else 16))
+    batch_sizes = tuple(int(b) for b in
+                        (args.batch_sizes or "1,4,16").split(","))
     prompts = bench_prompts(model.config.vocab_size, num)
     report = throughput_sweep(model, prompts, max_new_tokens=max_new,
                               batch_sizes=batch_sizes)

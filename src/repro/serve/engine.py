@@ -2,16 +2,34 @@
 
 One engine step forwards every cache slot at once: a single-token decode
 for the whole batch, with per-row RoPE positions and an additive key mask
-so sequences of different lengths share one preallocated
-:class:`~repro.nn.kv_cache.KVCache`.  Finished sequences free their slot
-immediately and waiting prompts are prefilled into the freed rows as a
-sub-batch (``cache_rows``), so the batch stays full while the queue
-drains — the standard continuous-batching discipline, scaled down.
+so sequences of different lengths share one cache.  Finished sequences
+free their slot (and, with a paged cache, their blocks) immediately and
+waiting prompts are prefilled into the freed rows as a sub-batch
+(``cache_rows``), so the batch stays full while the queue drains — the
+standard continuous-batching discipline, scaled down.
 
-Greedy decoding is token-identical to the sequential
+The cache backend is selected by ``kv_cache``:
+
+* ``"paged"`` (default) — block-granular FP32
+  :class:`~repro.nn.paged_kv_cache.PagedKVCache`; memory tracks the sum
+  of live tokens instead of ``batch x max_len``.
+* ``"fineq"`` — :class:`~repro.nn.paged_kv_cache.QuantizedPagedKVCache`;
+  full blocks stored in the paper's 2.33-bit format (~7x fewer bytes per
+  full block, ~4.7x end-to-end with the FP32 write buffers; bounded
+  perplexity delta instead of exact parity).
+* ``"dense"`` — the rectangular preallocated
+  :class:`~repro.nn.kv_cache.KVCache` of PR 1, kept as a baseline.
+
+Greedy decoding on the ``"paged"`` and ``"dense"`` paths is
+token-identical to the sequential
 :meth:`repro.nn.model.TransformerLM.generate` path: per-row positions
-match the sequential position counter exactly, and masked cache slots
-contribute exact zeros to the attention averages.
+match the sequential position counter exactly, cache reads return the
+same float values, and masked slots contribute exact zeros to the
+attention averages.
+
+Prefill is lean: the final norm and LM-head projection run only at each
+row's last prompt position (``logits_positions``), so prefill cost no
+longer scales with ``vocab x prompt_len``.
 """
 
 from __future__ import annotations
@@ -24,7 +42,12 @@ import numpy as np
 
 from repro.autograd import no_grad
 from repro.nn.kv_cache import KVCache
+from repro.nn.paged_kv_cache import (DEFAULT_BLOCK_SIZE, PagedKVCache,
+                                     QuantizedPagedKVCache)
 from repro.nn.model import TransformerLM
+
+#: Engine cache backends: constructor keyed by the ``kv_cache`` argument.
+KV_CACHE_MODES = ("paged", "fineq", "dense")
 
 
 @dataclass(frozen=True)
@@ -61,6 +84,11 @@ class EngineStats:
     decode_seconds: float = 0.0
     decode_steps: int = 0
     decode_slot_steps: int = 0  # steps x batch slots (for occupancy)
+    # KV-cache memory, sampled every decode step at the point of most
+    # live context tokens (the serving-memory high-water mark).
+    kv_peak_tokens: int = 0
+    kv_peak_used_bytes: int = 0
+    kv_peak_allocated_bytes: int = 0
 
     @property
     def prefill_tokens_per_s(self) -> float:
@@ -74,6 +102,11 @@ class EngineStats:
     def occupancy(self) -> float:
         """Mean fraction of batch slots doing useful decode work."""
         return self.decode_tokens / self.decode_slot_steps if self.decode_slot_steps else 0.0
+
+    @property
+    def bytes_per_cached_token(self) -> float:
+        """Cache bytes per live context token at the memory high-water mark."""
+        return self.kv_peak_used_bytes / self.kv_peak_tokens if self.kv_peak_tokens else 0.0
 
 
 @dataclass
@@ -99,22 +132,43 @@ class GenerationEngine:
     rng:
         Generator for temperature sampling (one shared stream; greedy
         requests consume nothing).
+    kv_cache:
+        Cache backend: ``"paged"`` (default), ``"fineq"`` (quantized
+        paged), or ``"dense"`` (rectangular baseline).
+    block_size:
+        Tokens per block for the paged backends.
     """
 
     def __init__(self, model: TransformerLM, max_batch_size: int = 8,
                  eos_token: int | None = None,
                  rng: np.random.Generator | None = None,
-                 initial_capacity: int = 64):
+                 initial_capacity: int = 64, kv_cache: str = "paged",
+                 block_size: int = DEFAULT_BLOCK_SIZE):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if kv_cache not in KV_CACHE_MODES:
+            raise ValueError(f"kv_cache must be one of {KV_CACHE_MODES}, "
+                             f"got {kv_cache!r}")
         self.model = model
         self.max_batch_size = max_batch_size
         self.eos_token = eos_token
         self.rng = rng or np.random.default_rng(0)
         self.initial_capacity = initial_capacity
+        self.kv_cache = kv_cache
+        self.block_size = block_size
         self.stats = EngineStats()
         self._queue: deque[Request] = deque()
         self._next_id = 0
+
+    def _make_cache(self, batch: int) -> KVCache | PagedKVCache:
+        num_layers = self.model.config.num_layers
+        if self.kv_cache == "dense":
+            return KVCache(num_layers, batch=batch,
+                           initial_capacity=self.initial_capacity)
+        initial_blocks = batch * max(1, self.initial_capacity // self.block_size)
+        cls = PagedKVCache if self.kv_cache == "paged" else QuantizedPagedKVCache
+        return cls(num_layers, batch=batch, block_size=self.block_size,
+                   initial_blocks=initial_blocks)
 
     # ------------------------------------------------------------------ #
     # request intake
@@ -155,8 +209,7 @@ class GenerationEngine:
         if not self._queue:
             return []
         batch = min(self.max_batch_size, len(self._queue))
-        cache = KVCache(self.model.config.num_layers, batch=batch,
-                        initial_capacity=self.initial_capacity)
+        cache = self._make_cache(batch)
         slots: list[_Slot | None] = [None] * batch
         lengths = np.zeros(batch, dtype=np.int64)   # context tokens per row
         pending = np.zeros(batch, dtype=np.int64)   # next token to feed
@@ -170,7 +223,8 @@ class GenerationEngine:
                     self._admit(cache, slots, lengths, pending, completions)
         return completions
 
-    def _decode_step(self, cache: KVCache, slots: list[_Slot | None],
+    def _decode_step(self, cache: KVCache | PagedKVCache,
+                     slots: list[_Slot | None],
                      lengths: np.ndarray, pending: np.ndarray,
                      completions: list[Completion]) -> None:
         """One whole-batch single-token decode + vectorized sampling."""
@@ -178,7 +232,9 @@ class GenerationEngine:
         active = np.array([slot is not None for slot in slots])
         # Free rows decode a dummy token at position 0; their slot-0 cache
         # entry is garbage that the next prefill overwrites, and their
-        # logits are never sampled.
+        # logits are never sampled.  In the paged caches this pins at most
+        # one pool block (fp32) or one buffered token (fineq) per idle
+        # row, reclaimed when the row is readmitted.
         positions = np.where(active, lengths, 0)
         total = max(cache.seq_len, int(positions.max()) + 1)
         valid = np.where(active, positions + 1, total)
@@ -194,6 +250,25 @@ class GenerationEngine:
         self.stats.decode_slot_steps += batch
 
         lengths[active] += 1
+        # Tokens and bytes must count the same population: paged caches
+        # report their own cached_tokens (which includes the one slot-0
+        # dummy token idle rows keep re-writing, whose storage used_bytes
+        # also counts); the rectangle has no per-row accounting, so its
+        # bytes (the whole rectangle) are divided over live tokens only.
+        if isinstance(cache, PagedKVCache):
+            live_tokens = cache.cached_tokens
+        else:
+            live_tokens = int(lengths[active].sum())
+        if live_tokens > self.stats.kv_peak_tokens:
+            self.stats.kv_peak_tokens = live_tokens
+            self.stats.kv_peak_used_bytes = cache.used_bytes()
+        # The rectangular cache's allocated_bytes is an FP16 projection by
+        # default; its buffers (like the paged pools) are really FP32.
+        allocated = (cache.allocated_bytes(bytes_per_element=4)
+                     if isinstance(cache, KVCache) else cache.allocated_bytes())
+        self.stats.kv_peak_allocated_bytes = max(
+            self.stats.kv_peak_allocated_bytes, allocated)
+
         temperatures = np.array([slot.request.temperature if slot else 0.0
                                  for slot in slots])
         sampled = self._sample(logits.data[:, -1], temperatures)
@@ -203,9 +278,10 @@ class GenerationEngine:
             token = int(sampled[row])
             slot.generated.append(token)
             pending[row] = token
-            self._maybe_finish(row, slots, lengths, completions)
+            self._maybe_finish(row, slots, lengths, completions, cache)
 
-    def _admit(self, cache: KVCache, slots: list[_Slot | None],
+    def _admit(self, cache: KVCache | PagedKVCache,
+               slots: list[_Slot | None],
                lengths: np.ndarray, pending: np.ndarray,
                completions: list[Completion]) -> None:
         """Prefill waiting prompts into free slots until either runs out."""
@@ -221,14 +297,18 @@ class GenerationEngine:
             for j, request in enumerate(requests):
                 tokens[j, :prompt_lens[j]] = request.prompt
 
+            # Lean prefill: norm + LM head only at each row's last *real*
+            # prompt position — the only logits generation samples from.
+            # cache_lens gives paged caches the true (unpadded) lengths.
             start = time.perf_counter()
             logits = self.model(tokens, cache=cache,
-                                cache_rows=np.asarray(rows))
+                                cache_rows=np.asarray(rows),
+                                cache_lens=prompt_lens,
+                                logits_positions=prompt_lens - 1)
             self.stats.prefill_seconds += time.perf_counter() - start
             self.stats.prefill_tokens += int(prompt_lens.sum())
 
-            # Sample each row's first token from its last *real* position.
-            last = logits.data[np.arange(len(rows)), prompt_lens - 1]
+            last = logits.data[:, 0]
             temperatures = np.array([r.temperature for r in requests])
             first = self._sample(last, temperatures)
             for j, (row, request) in enumerate(zip(rows, requests)):
@@ -236,11 +316,11 @@ class GenerationEngine:
                                    generated=[int(first[j])])
                 lengths[row] = prompt_lens[j]
                 pending[row] = int(first[j])
-                self._maybe_finish(row, slots, lengths, completions)
+                self._maybe_finish(row, slots, lengths, completions, cache)
 
     def _maybe_finish(self, row: int, slots: list[_Slot | None],
-                      lengths: np.ndarray,
-                      completions: list[Completion]) -> None:
+                      lengths: np.ndarray, completions: list[Completion],
+                      cache: KVCache | PagedKVCache) -> None:
         """Complete + free the slot if the row hit a termination condition."""
         slot = slots[row]
         request = slot.request
@@ -262,6 +342,10 @@ class GenerationEngine:
                                       prompt_len=len(request.prompt),
                                       finish_reason=reason))
         slots[row] = None
+        # Paged caches return the row's blocks to the pool immediately so
+        # waiting prompts can be admitted into the freed memory; the
+        # rectangular cache reuses the row in place (no-op).
+        cache.free_rows(np.array([row]))
 
     # ------------------------------------------------------------------ #
     # sampling

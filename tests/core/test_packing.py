@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import FineQQuantizer, pack_matrix, unpack_matrix
-from repro.core.packing import GROUP_BYTES, CLUSTERS_PER_GROUP
+from repro.core.packing import (GROUP_BYTES, CLUSTERS_PER_GROUP, _DECODE_LUT,
+                                decode_payload, decode_payload_bitwise)
 
 
 def _pack_roundtrip(weight: np.ndarray):
@@ -73,3 +74,33 @@ def test_payload_groups_are_multiple_of_group_bytes(gaussian_weight):
     assert packed.payload.shape[1] % GROUP_BYTES == 0
     groups = packed.payload.shape[1] // GROUP_BYTES
     assert groups * CLUSTERS_PER_GROUP >= packed.num_clusters
+
+
+def test_decode_lut_covers_every_scheme_and_pattern():
+    assert _DECODE_LUT.shape == (4, 64, 3)
+    # Magnitudes stay on the per-scheme grids: +-1 normal, +-3 outlier.
+    assert np.abs(_DECODE_LUT[0]).max() == 1
+    assert np.abs(_DECODE_LUT[1:]).max() == 3
+    # Zeroed positions are structurally zero for the outlier schemes.
+    for scheme, zero_pos in ((1, 0), (2, 1), (3, 2)):
+        assert (_DECODE_LUT[scheme, :, zero_pos] == 0).all()
+
+
+def test_lut_decode_equals_bitwise_reference(gaussian_weight):
+    _, packed, *_ = _pack_roundtrip(gaussian_weight)
+    codes, schemes = decode_payload(packed.payload)
+    ref_codes, ref_schemes = decode_payload_bitwise(packed.payload)
+    assert np.array_equal(codes, ref_codes)
+    assert np.array_equal(schemes, ref_schemes)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=st.integers(1, 6), cols=st.integers(1, 64),
+       seed=st.integers(0, 10_000))
+def test_lut_decode_equals_bitwise_reference_property(rows, cols, seed):
+    weight = np.random.default_rng(seed).standard_normal((rows, cols))
+    _, packed, *_ = _pack_roundtrip(weight)
+    codes, schemes = decode_payload(packed.payload)
+    ref_codes, ref_schemes = decode_payload_bitwise(packed.payload)
+    assert np.array_equal(codes, ref_codes)
+    assert np.array_equal(schemes, ref_schemes)

@@ -4,12 +4,12 @@ import numpy as np
 import pytest
 
 from repro.data import WordTokenizer
-from repro.eval import (perplexity, clone_model, quantized_perplexity,
-                        run_method_sweep)
+from repro.eval import (cached_perplexity, perplexity, clone_model,
+                        quantized_perplexity, run_method_sweep)
 from repro.eval.perplexity import eval_stream
 from repro.eval.tables import format_table, format_markdown, format_number
 from repro.models.configs import tiny_config
-from repro.nn import TransformerLM
+from repro.nn import KVCache, PagedKVCache, QuantizedPagedKVCache, TransformerLM
 
 
 def test_perplexity_of_untrained_model_near_vocab(tiny_model, tiny_stream):
@@ -27,6 +27,32 @@ def test_trained_model_much_better_than_chance(tiny_model, tiny_stream):
 def test_perplexity_requires_enough_tokens(tiny_model):
     with pytest.raises(ValueError):
         perplexity(tiny_model, np.arange(10), seq_len=64)
+
+
+def test_cached_perplexity_fp32_matches_full_forward(tiny_model, tiny_stream):
+    """Feeding tokens through an exact KV cache changes nothing."""
+    stream = tiny_stream[:4 * 32 + 1]
+    plain = perplexity(tiny_model, stream, seq_len=32, batch_size=2)
+    layers = tiny_model.config.num_layers
+    for factory in (lambda b: KVCache(layers, batch=b),
+                    lambda b: PagedKVCache(layers, batch=b, block_size=8)):
+        cached = cached_perplexity(tiny_model, stream, 32, factory,
+                                   batch_size=2)
+        np.testing.assert_allclose(cached, plain, rtol=1e-6)
+
+
+def test_cached_perplexity_quantized_close_to_exact(tiny_model, tiny_stream):
+    """The FineQ cache degrades perplexity only slightly on a tiny model."""
+    stream = tiny_stream[:2 * 32 + 1]
+    layers = tiny_model.config.num_layers
+    exact = cached_perplexity(tiny_model, stream, 32,
+                              lambda b: PagedKVCache(layers, batch=b),
+                              batch_size=2)
+    quant = cached_perplexity(
+        tiny_model, stream, 32,
+        lambda b: QuantizedPagedKVCache(layers, batch=b, block_size=8),
+        batch_size=2)
+    assert abs(quant - exact) / exact < 0.25
 
 
 def test_eval_stream_disjoint_from_training(tiny_tokenizer):

@@ -132,3 +132,20 @@ def test_causal_mask_is_memoised_and_correct():
                      [0, 0, 0, 0, -np.inf],
                      [0, 0, 0, 0, 0]], dtype=np.float32)
     np.testing.assert_array_equal(first, want)
+
+
+def test_mask_cache_is_bounded_with_lru_eviction():
+    """Perplexity sweeps produce many (seq, total) shapes; the cache must
+    not grow without limit, and hot shapes must survive eviction."""
+    from repro.nn.attention import _MASK_CACHE, _MASK_CACHE_LIMIT
+
+    hot = causal_mask(7, 7)
+    for total in range(8, 8 + 2 * _MASK_CACHE_LIMIT):
+        causal_mask(7, total)
+        assert causal_mask(7, 7) is hot  # touching keeps it resident
+    assert len(_MASK_CACHE) <= _MASK_CACHE_LIMIT
+
+    # Evicted shapes are rebuilt correctly on demand.
+    rebuilt = causal_mask(2, 4)
+    want = np.array([[0, 0, 0, -np.inf], [0, 0, 0, 0]], dtype=np.float32)
+    np.testing.assert_array_equal(rebuilt, want)

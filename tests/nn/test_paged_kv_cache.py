@@ -1,0 +1,302 @@
+"""Paged + FineQ-quantized KV caches: block pooling, parity, round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import cluster_weights, initial_schemes
+from repro.core.encoding import (channel_scales, harmonize_pairs,
+                                 quantize_codes)
+from repro.nn.kv_cache import KVCache
+from repro.nn.paged_kv_cache import (PagedKVCache, QuantizedPagedKVCache,
+                                     dequantize_kv_channels,
+                                     quantize_kv_block)
+
+
+def random_kv(rng, batch, heads, seq, head_dim):
+    return (rng.standard_normal((batch, heads, seq, head_dim)).astype(np.float32),
+            rng.standard_normal((batch, heads, seq, head_dim)).astype(np.float32))
+
+
+# ---------------------------------------------------------------------- #
+# FP32 paged cache vs the rectangular reference
+# ---------------------------------------------------------------------- #
+def test_append_matches_rectangular_cache_across_block_boundaries():
+    """Gathered paged context is value-identical to the rectangular cache."""
+    rng = np.random.default_rng(0)
+    paged = PagedKVCache(2, batch=2, block_size=4, initial_blocks=2)
+    rect = KVCache(2, batch=2, initial_capacity=4)
+    for seq in (3, 1, 2, 5, 8, 1, 9):  # crosses many block boundaries
+        for layer in range(2):
+            k, v = random_kv(rng, 2, 3, seq, 8)
+            got_k, got_v = paged.append(layer, k, v)
+            want_k, want_v = rect.append(layer, k, v)
+            np.testing.assert_array_equal(got_k, want_k)
+            np.testing.assert_array_equal(got_v, want_v)
+    assert paged.seq_len == 29
+    assert paged.blocks_in_use() == 2 * 8  # ceil(29/4) blocks per row
+
+
+def test_write_token_matches_rectangular_cache():
+    rng = np.random.default_rng(1)
+    paged = PagedKVCache(1, batch=3, block_size=4)
+    rect = KVCache(1, batch=3, initial_capacity=4)
+    k0, v0 = random_kv(rng, 3, 2, 4, 8)
+    paged.append(0, k0, v0)
+    rect.append(0, k0, v0)
+    positions = np.array([4, 4, 4])
+    for _ in range(6):  # rows advance together across the block boundary
+        k1, v1 = random_kv(rng, 3, 2, 1, 8)
+        got_k, got_v = paged.write_token(0, k1, v1, positions)
+        want_k, want_v = rect.write_token(0, k1, v1, positions)
+        np.testing.assert_array_equal(got_k, want_k)
+        np.testing.assert_array_equal(got_v, want_v)
+        positions = positions + 1
+
+
+def test_write_token_ragged_positions():
+    """Rows at different depths write into different blocks of their own."""
+    rng = np.random.default_rng(2)
+    cache = PagedKVCache(1, batch=3, block_size=4)
+    k0, v0 = random_kv(rng, 3, 2, 6, 8)
+    cache.write_rows(0, k0[:1], v0[:1], np.array([0]))
+    k1, v1 = random_kv(rng, 3, 2, 1, 8)
+    positions = np.array([6, 0, 0])
+    got_k, _ = cache.write_token(0, k1, v1, positions)
+    assert got_k.shape[2] == 7
+    np.testing.assert_array_equal(got_k[0, :, 6], k1[0, :, 0])
+    np.testing.assert_array_equal(got_k[1, :, 0], k1[1, :, 0])
+    np.testing.assert_array_equal(got_k[0, :, :6], k0[0])
+
+
+def test_write_rows_prefills_subset():
+    rng = np.random.default_rng(3)
+    cache = PagedKVCache(1, batch=4, block_size=4)
+    k0, v0 = random_kv(rng, 4, 2, 6, 8)
+    cache.append(0, k0, v0)
+    k1, v1 = random_kv(rng, 2, 2, 3, 8)
+    cache.free_rows(np.array([1, 3]))
+    cache.write_rows(0, k1, v1, np.array([1, 3]))
+    got_k, _ = cache.write_token(0, *random_kv(rng, 4, 2, 1, 8),
+                                 positions=np.array([6, 3, 6, 3]))
+    np.testing.assert_array_equal(got_k[1, :, :3], k1[0])
+    np.testing.assert_array_equal(got_k[3, :, :3], k1[1])
+    np.testing.assert_array_equal(got_k[0, :, :6], k0[0])
+
+
+# ---------------------------------------------------------------------- #
+# block allocation / free / reuse
+# ---------------------------------------------------------------------- #
+def test_free_rows_returns_blocks_and_slots_are_reused():
+    rng = np.random.default_rng(4)
+    cache = PagedKVCache(1, batch=2, block_size=4, initial_blocks=4)
+    k, v = random_kv(rng, 1, 2, 10, 8)  # 3 blocks
+    cache.write_rows(0, k, v, np.array([0]))
+    assert cache.blocks_in_use() == 3
+    pool_before = cache.allocated_bytes()
+
+    cache.free_rows(np.array([0]))
+    assert cache.blocks_in_use() == 0
+    assert cache.cached_tokens == 0
+    assert cache.used_bytes() == 0
+
+    # A new sequence reuses the freed blocks: the pool must not grow.
+    k2, v2 = random_kv(rng, 1, 2, 12, 8)  # 3 blocks again
+    cache.write_rows(0, k2, v2, np.array([0]))
+    assert cache.blocks_in_use() == 3
+    assert cache.allocated_bytes() == pool_before
+    got_k, _ = cache.write_token(0, *random_kv(rng, 2, 2, 1, 8),
+                                 positions=np.array([12, 0]))
+    np.testing.assert_array_equal(got_k[0, :, :12], k2[0])
+
+
+def test_pool_grows_when_free_list_runs_dry():
+    rng = np.random.default_rng(5)
+    cache = PagedKVCache(1, batch=1, block_size=2, initial_blocks=1)
+    k, v = random_kv(rng, 1, 1, 9, 4)
+    got_k, _ = cache.append(0, k, v)
+    np.testing.assert_array_equal(got_k, k)
+    assert cache.blocks_in_use() == 5
+    assert cache.allocated_bytes() >= cache.used_bytes()
+
+
+def test_memory_tracks_live_tokens_not_batch_times_max():
+    """The paged win: short rows stop paying for the longest row."""
+    rng = np.random.default_rng(6)
+    batch, long_len, short_len = 4, 32, 4
+    paged = PagedKVCache(1, batch=batch, block_size=4)
+    rect = KVCache(1, batch=batch, initial_capacity=4)
+    k, v = random_kv(rng, 1, 2, long_len, 8)
+    paged.write_rows(0, k, v, np.array([0]))
+    rect.write_rows(0, k, v, np.array([0]))
+    ks, vs = random_kv(rng, batch - 1, 2, short_len, 8)
+    paged.write_rows(0, ks, vs, np.arange(1, batch))
+    rect.write_rows(0, ks, vs, np.arange(1, batch))
+    # 8 + 3x1 blocks of 4 tokens vs a 4 x 32 rectangle.
+    assert paged.blocks_in_use() == 8 + 3
+    assert paged.used_bytes() < rect.used_bytes() / 2
+
+
+def test_used_bytes_counts_cached_tokens():
+    cache = PagedKVCache(2, batch=1, block_size=4)
+    k = np.ones((1, 2, 5, 8), dtype=np.float32)
+    for layer in range(2):
+        cache.append(layer, k, k.copy())
+    # 2 layers x K+V x 5 tokens x heads x head_dim x fp32.
+    assert cache.used_bytes() == 2 * 2 * 5 * 2 * 8 * 4
+
+
+def test_boundary_at_large_positions():
+    """Writes at a max_seq_len-style boundary land in the last block."""
+    cache = PagedKVCache(1, batch=1, block_size=16)
+    k = np.ones((1, 2, 1, 4), dtype=np.float32)
+    got_k, _ = cache.write_token(0, k, k.copy(), np.array([511]))
+    assert got_k.shape[2] == 512
+    assert cache.blocks_in_use() == 32
+    np.testing.assert_array_equal(got_k[0, :, 511], k[0, :, 0])
+    assert np.isfinite(got_k).all()  # unwritten slots are zero, not garbage
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        PagedKVCache(1, batch=0)
+    with pytest.raises(ValueError):
+        PagedKVCache(1, batch=1, block_size=0)
+
+
+# ---------------------------------------------------------------------- #
+# quantized paged cache
+# ---------------------------------------------------------------------- #
+def reference_block_reconstruction(block):
+    """FineQ-encode one ``(heads, bs, hd)`` block exactly as the cache does."""
+    heads, bs, head_dim = block.shape
+    matrix = block.transpose(0, 2, 1).reshape(heads * head_dim, bs)
+    clusters, _ = cluster_weights(matrix)
+    schemes = initial_schemes(clusters)
+    scales = channel_scales(clusters, schemes)
+    harmonized = harmonize_pairs(clusters, schemes, scales)
+    if harmonized is not schemes:
+        schemes = harmonized
+        scales = channel_scales(clusters, schemes)
+    codes = quantize_codes(clusters, schemes, scales)
+    # The cache stores scales as FP16, so reconstruct with FP16 scales.
+    fp16_scales = scales.reshape(-1).astype(np.float16).astype(np.float32)
+    values = codes.astype(np.float32) * fp16_scales[:, None, None]
+    flat = values.reshape(heads * head_dim, -1)[:, :bs]
+    return flat.reshape(heads, head_dim, bs).transpose(0, 2, 1)
+
+
+def test_quantized_block_roundtrip_matches_reference():
+    """A flushed block reads back exactly as the FineQ pipeline predicts."""
+    rng = np.random.default_rng(7)
+    bs, heads, head_dim = 16, 2, 8
+    cache = QuantizedPagedKVCache(1, batch=1, block_size=bs)
+    k, v = random_kv(rng, 1, heads, bs, head_dim)
+    cache.write_rows(0, k, v, np.array([0]))
+    # Writing the first token of block 1 flushes (quantizes) block 0.
+    k1, v1 = random_kv(rng, 1, heads, 1, head_dim)
+    got_k, got_v = cache.write_token(0, k1, v1, np.array([bs]))
+    np.testing.assert_allclose(got_k[0, :, :bs],
+                               reference_block_reconstruction(k[0]),
+                               rtol=0, atol=1e-6)
+    np.testing.assert_allclose(got_v[0, :, :bs],
+                               reference_block_reconstruction(v[0]),
+                               rtol=0, atol=1e-6)
+    # The buffered (current-block) token stays bit-exact FP32.
+    np.testing.assert_array_equal(got_k[0, :, bs], k1[0, :, 0])
+
+
+def test_quantized_roundtrip_error_is_bounded_per_channel():
+    """Reconstruction error never exceeds the channel's own magnitude."""
+    rng = np.random.default_rng(8)
+    block = rng.standard_normal((2, 16, 8)).astype(np.float32)
+    payload, scales = quantize_kv_block(block[None])
+    restored = dequantize_kv_channels(payload, scales, 16)
+    matrix = block.transpose(0, 2, 1).reshape(-1, 16)
+    max_abs = np.abs(matrix).max(axis=1, keepdims=True)
+    assert (np.abs(restored - matrix) <= max_abs + 1e-6).all()
+
+
+def test_quantized_buffer_is_exact_until_block_fills():
+    """Tokens in the current block read back bit-for-bit."""
+    rng = np.random.default_rng(9)
+    cache = QuantizedPagedKVCache(1, batch=2, block_size=8)
+    kept = []
+    for position in range(8):
+        k, v = random_kv(rng, 2, 2, 1, 4)
+        kept.append(k)
+        got_k, _ = cache.write_token(0, k, v, np.full(2, position))
+        for t, want in enumerate(kept):
+            np.testing.assert_array_equal(got_k[:, :, t], want[:, :, 0])
+    assert cache.blocks_in_use() == 0  # nothing flushed yet
+
+
+def test_quantized_used_bytes_at_least_4x_smaller_on_full_blocks():
+    rng = np.random.default_rng(10)
+    heads, head_dim, bs, seq = 4, 32, 16, 129  # 8 full blocks + 1 buffered
+    quant = QuantizedPagedKVCache(1, batch=1, block_size=bs)
+    plain = PagedKVCache(1, batch=1, block_size=bs)
+    k, v = random_kv(rng, 1, heads, seq, head_dim)
+    quant.write_rows(0, k, v, np.array([0]))
+    plain.write_rows(0, k, v, np.array([0]))
+    assert quant.cached_tokens == plain.cached_tokens == seq
+    assert quant.used_bytes() * 4 <= plain.used_bytes()
+
+
+def test_quantized_free_and_reuse():
+    rng = np.random.default_rng(11)
+    cache = QuantizedPagedKVCache(1, batch=1, block_size=4)
+    k, v = random_kv(rng, 1, 2, 11, 4)  # 2 quantized blocks + 3 buffered
+    cache.write_rows(0, k, v, np.array([0]))
+    assert cache.blocks_in_use() == 2
+    cache.free_rows(np.array([0]))
+    assert cache.blocks_in_use() == 0
+    assert cache.used_bytes() == 0
+    k2, v2 = random_kv(rng, 1, 2, 5, 4)
+    cache.write_rows(0, k2, v2, np.array([0]))
+    got_k, _ = cache.write_token(0, *random_kv(rng, 1, 2, 1, 4),
+                                 positions=np.array([5]))
+    np.testing.assert_array_equal(got_k[0, :, 4:5], k2[0, :, 4:5])
+
+
+def test_write_rows_ragged_lengths_account_true_tokens():
+    """Right-padded prefills must not charge short rows for padding."""
+    rng = np.random.default_rng(12)
+    cache = PagedKVCache(1, batch=2, block_size=4)
+    k, v = random_kv(rng, 2, 2, 10, 8)  # padded width 10; true lens 5, 10
+    cache.write_rows(0, k, v, np.array([0, 1]),
+                     row_lengths=np.array([5, 10]))
+    assert cache.cached_tokens == 15
+    assert cache.blocks_in_use() == 2 + 3  # ceil(5/4) + ceil(10/4)
+    got_k, _ = cache.write_token(0, *random_kv(rng, 2, 2, 1, 8),
+                                 positions=np.array([5, 10]))
+    np.testing.assert_array_equal(got_k[0, :, :5], k[0, :, :5])
+    np.testing.assert_array_equal(got_k[1, :, :10], k[1])
+
+
+def test_quantized_ragged_prefill_keeps_overlay_aligned():
+    """Regression: a padded prefill crossing a block boundary must not
+    shift the short row's FP32 current-block overlay (tokens written
+    after admission were surfacing at masked positions while their real
+    positions read quantized padding garbage)."""
+    rng = np.random.default_rng(13)
+    cache = QuantizedPagedKVCache(1, batch=2, block_size=4)
+    k, v = random_kv(rng, 2, 2, 10, 8)  # row 0 truly 5 tokens, row 1 ten
+    cache.write_rows(0, k, v, np.array([0, 1]),
+                     row_lengths=np.array([5, 10]))
+    assert cache.cached_tokens == 15
+    # Decode one token per row at each row's true next position.
+    k1, v1 = random_kv(rng, 2, 2, 1, 8)
+    got_k, _ = cache.write_token(0, k1, v1, np.array([5, 10]))
+    # The freshly written tokens are visible at their true positions...
+    np.testing.assert_array_equal(got_k[0, :, 5], k1[0, :, 0])
+    np.testing.assert_array_equal(got_k[1, :, 10], k1[1, :, 0])
+    # ...and each row's buffered (not yet quantized) tokens stay exact.
+    np.testing.assert_array_equal(got_k[0, :, 4], k[0, :, 4])
+    np.testing.assert_array_equal(got_k[1, :, 8:10], k[1, :, 8:10])
+
+
+def test_quantized_append_requires_single_token():
+    cache = QuantizedPagedKVCache(1, batch=1, block_size=4)
+    k = np.ones((1, 2, 3, 4), dtype=np.float32)
+    with pytest.raises(NotImplementedError):
+        cache.append(0, k, k.copy())

@@ -34,21 +34,78 @@ def test_greedy_parity_uniform_prompts(model):
         np.testing.assert_array_equal(got, want)
 
 
-def test_greedy_parity_ragged_prompts(model, prompts):
+@pytest.mark.parametrize("kv_cache", ["paged", "dense"])
+def test_greedy_parity_ragged_prompts(model, prompts, kv_cache):
     """Different prompt lengths in one batch must not perturb any output."""
     expected = sequential(model, prompts, 10)
-    engine = GenerationEngine(model, max_batch_size=len(prompts))
+    engine = GenerationEngine(model, max_batch_size=len(prompts),
+                              kv_cache=kv_cache)
     for got, want in zip(engine.generate_batch(prompts, 10), expected):
         np.testing.assert_array_equal(got, want)
 
 
 @pytest.mark.parametrize("batch_size", [1, 2, 3])
-def test_greedy_parity_continuous_batching(model, prompts, batch_size):
+@pytest.mark.parametrize("kv_cache", ["paged", "dense"])
+def test_greedy_parity_continuous_batching(model, prompts, batch_size,
+                                           kv_cache):
     """Slot reuse (more requests than slots) preserves every output."""
     expected = sequential(model, prompts, 6)
-    engine = GenerationEngine(model, max_batch_size=batch_size)
+    engine = GenerationEngine(model, max_batch_size=batch_size,
+                              kv_cache=kv_cache)
     for got, want in zip(engine.generate_batch(prompts, 6), expected):
         np.testing.assert_array_equal(got, want)
+
+
+def test_greedy_parity_paged_small_blocks(model, prompts):
+    """Tiny blocks force mid-generation block allocation on every row."""
+    expected = sequential(model, prompts, 10)
+    engine = GenerationEngine(model, max_batch_size=3, block_size=2)
+    for got, want in zip(engine.generate_batch(prompts, 10), expected):
+        np.testing.assert_array_equal(got, want)
+
+
+def test_fineq_cache_exact_within_first_block(model, prompts):
+    """Sequences that never leave the FP32 write buffer decode exactly."""
+    engine = GenerationEngine(model, max_batch_size=3, kv_cache="fineq",
+                              block_size=64)
+    expected = sequential(model, prompts, 10)
+    for got, want in zip(engine.generate_batch(prompts, 10), expected):
+        np.testing.assert_array_equal(got, want)
+
+
+def test_fineq_ragged_admit_exact_while_rows_stay_in_buffer(model):
+    """Regression: admitting ragged prompts together (right-padded past a
+    short row's block boundary) must not corrupt the short row.  With all
+    of a row's tokens still inside its FP32 buffer, its greedy output is
+    bit-exact vs sequential generate."""
+    short, long = np.array([1, 2]), np.array([3, 4, 5, 6, 7])
+    engine = GenerationEngine(model, max_batch_size=2, kv_cache="fineq",
+                              block_size=4)
+    got = engine.generate_batch([short, long], 2)
+    want = model.generate(short, 2, temperature=0.0)
+    np.testing.assert_array_equal(got[0], want)
+
+
+def test_fineq_cache_serves_past_block_boundaries(model, prompts):
+    """Quantized mode: full budgets served, valid tokens, correct prompts."""
+    engine = GenerationEngine(model, max_batch_size=3, kv_cache="fineq",
+                              block_size=4)
+    ids = [engine.submit(p, 12) for p in prompts]
+    done = {c.request_id: c for c in engine.run()}
+    for rid, prompt in zip(ids, prompts):
+        completion = done[rid]
+        assert completion.finish_reason == "length"
+        assert len(completion.new_tokens) == 12
+        np.testing.assert_array_equal(completion.tokens[:len(prompt)], prompt)
+        assert completion.tokens.min() >= 0
+        assert completion.tokens.max() < model.config.vocab_size
+    assert engine.stats.kv_peak_tokens > 0
+    assert engine.stats.bytes_per_cached_token > 0
+
+
+def test_rejects_unknown_kv_cache_mode(model):
+    with pytest.raises(ValueError):
+        GenerationEngine(model, kv_cache="hbm3")
 
 
 def test_parity_mixed_max_new_tokens(model):
@@ -135,13 +192,14 @@ def test_max_seq_len_termination():
     assert len(completion.tokens) == model.config.max_seq_len + 1
 
 
-def test_parity_at_max_seq_len_boundary():
+@pytest.mark.parametrize("kv_cache", ["paged", "dense"])
+def test_parity_at_max_seq_len_boundary(kv_cache):
     """The engine matches sequential generate right up to the RoPE limit."""
     model = TransformerLM(tiny_config(vocab_size=32, seed=1))
     prompt = np.array([1, 2, 3, 4])
     budget = model.config.max_seq_len - len(prompt) + 1
     want = model.generate(prompt, budget, temperature=0.0)
-    engine = GenerationEngine(model, max_batch_size=1)
+    engine = GenerationEngine(model, max_batch_size=1, kv_cache=kv_cache)
     engine.submit(prompt, budget)
     completion = engine.run()[0]
     np.testing.assert_array_equal(completion.tokens, want)
