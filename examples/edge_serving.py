@@ -1,11 +1,13 @@
-"""Edge-serving scenario: memory budget, batched serving, and quality.
+"""Edge-serving scenario: memory budget, streaming serving, and quality.
 
 The paper's motivation (Fig. 2b): weights dominate LLM serving memory.
 This example loads the largest zoo model, shows the FP16 vs FineQ
-serving-memory split, then serves a batch of prompts through the
-continuous-batching :class:`repro.serve.GenerationEngine` — FP16 and
-FineQ-quantized — printing decode tokens/sec and checking the greedy
-continuations survive quantization:
+serving-memory split, then drives the persistent serving session the way
+a streaming client would: requests with per-request
+:class:`repro.serve.SamplingParams` stream ``TokenEvent``s as tokens
+land, one extra prompt is submitted mid-flight, one request is cancelled
+part-way, and the FineQ-quantized model re-serves the same prompts so
+the greedy continuations can be compared:
 
     python examples/edge_serving.py
 """
@@ -16,7 +18,7 @@ from repro.core.layout import serving_memory_layout
 from repro.eval import clone_model, format_table
 from repro.models import load_model
 from repro.quant import get_quantizer
-from repro.serve import GenerationEngine, sequential_throughput
+from repro.serve import GenerationEngine, SamplingParams
 
 PROMPTS = [
     ["the", "ancient", "castle"],
@@ -25,10 +27,41 @@ PROMPTS = [
     ["scientists", "discovered"],
     ["the", "market", "opened"],
     ["in", "the", "north"],
-    ["the", "old", "library"],
-    ["engineers", "built", "a"],
 ]
+LATE_PROMPT = ["engineers", "built", "a"]
 MAX_NEW_TOKENS = 12
+
+
+def stream_session(model, prompts, late_prompt):
+    """Serve ``prompts`` as a streaming client; returns (completions, stats).
+
+    Even requests decode greedily, odd ones sample through top-k/top-p
+    with a fixed per-request seed.  After a few events a late prompt is
+    submitted into the live session and the second request is cancelled.
+    """
+    engine = GenerationEngine(model, max_batch_size=4)
+    ids = []
+    for i, prompt in enumerate(prompts):
+        params = (SamplingParams(max_new_tokens=MAX_NEW_TOKENS)
+                  if i % 2 == 0 else
+                  SamplingParams(max_new_tokens=MAX_NEW_TOKENS,
+                                 temperature=0.8, top_k=20, top_p=0.9,
+                                 seed=100 + i))
+        ids.append(engine.submit(prompt, params=params))
+    victim, late_id = ids[1], None
+    events = 0
+    for event in engine.stream():
+        events += 1
+        if events == 6 and late_id is None:
+            late_id = engine.submit(late_prompt, max_new_tokens=MAX_NEW_TOKENS)
+            print(f"   ... {events} events in: submitted request {late_id} "
+                  "mid-flight")
+        if events == 10 and victim is not None:
+            engine.cancel(victim)
+            print(f"   ... {events} events in: cancelled request {victim} "
+                  "(row and cache blocks freed)")
+            victim = None
+    return {c.request_id: c for c in engine.take_completions()}, engine.stats
 
 
 def main() -> None:
@@ -48,36 +81,42 @@ def main() -> None:
     print(format_table(["Weights", "Total MiB", "W %", "KV %", "Other %"],
                        rows))
 
-    print(f"\n2. serving {len(PROMPTS)} prompts through the batched engine ...")
+    print(f"\n2. streaming {len(PROMPTS)} + 1 mid-flight prompts through "
+          "the FP16 session ...")
     prompts = [np.asarray(tokenizer.encode(words)) for words in PROMPTS]
+    late = np.asarray(tokenizer.encode(LATE_PROMPT))
+    fp16_done, fp16_stats = stream_session(model, prompts, late)
 
-    baseline = sequential_throughput(model, prompts, MAX_NEW_TOKENS)
-    engine = GenerationEngine(model, max_batch_size=len(prompts))
-    fp16_out = engine.generate_batch(prompts, MAX_NEW_TOKENS)
-    fp16_tps = engine.stats.decode_tokens_per_s
+    print("\n   finished requests (decoding mode, finish reason, text):")
+    for rid in sorted(fp16_done):
+        completion = fp16_done[rid]
+        mode = "greedy" if rid % 2 == 0 or rid >= len(PROMPTS) else "top-k/p"
+        text = " ".join(tokenizer.decode(completion.tokens))
+        print(f"   #{rid} [{mode:7}] [{completion.finish_reason:9}] {text}")
+    print(f"\n   decode throughput : {fp16_stats.decode_tokens_per_s:7,.0f} "
+          f"tok/s at occupancy {fp16_stats.occupancy:.0%}")
 
+    print("\n3. FineQ-quantized engine on the same prompts (greedy) ...")
     quantized = clone_model(model)
     report = get_quantizer("fineq").quantize_model(quantized)
-    q_engine = GenerationEngine(quantized, max_batch_size=len(prompts))
-    fineq_out = q_engine.generate_batch(prompts, MAX_NEW_TOKENS)
-    fineq_tps = q_engine.stats.decode_tokens_per_s
-
-    print(f"   sequential baseline : {baseline.decode_tokens_per_s:7,.0f} decode tok/s")
-    print(f"   FP16  batched engine: {fp16_tps:7,.0f} decode tok/s "
-          f"({fp16_tps / baseline.decode_tokens_per_s:.1f}x)")
-    print(f"   FineQ batched engine: {fineq_tps:7,.0f} decode tok/s")
-
-    print("\n3. greedy continuations (FP16 vs FineQ) ...")
+    q_engine = GenerationEngine(quantized, max_batch_size=4)
+    all_prompts = prompts + [late]
+    fineq_out = q_engine.generate_batch(all_prompts, MAX_NEW_TOKENS)
     identical = 0
-    for fp16_tokens, fineq_tokens in zip(fp16_out, fineq_out):
-        identical += int(np.array_equal(fp16_tokens, fineq_tokens))
-    for words, fp16_tokens in zip(PROMPTS[:3], fp16_out[:3]):
-        print(f"   {' '.join(words)!r:32} -> "
-              + " ".join(tokenizer.decode(fp16_tokens)))
-    print(f"\n   quantized weight payload: {report.avg_bits:.2f} bits/weight, "
+    for rid, fineq_tokens in enumerate(fineq_out):
+        fp16_completion = fp16_done.get(rid)
+        if fp16_completion is not None \
+                and fp16_completion.finish_reason == "length" \
+                and (rid % 2 == 0 or rid >= len(PROMPTS)):
+            identical += int(np.array_equal(fp16_completion.tokens,
+                                            fineq_tokens))
+    print(f"   quantized weight payload: {report.avg_bits:.2f} bits/weight, "
           f"{report.total_bytes() / 2**10:.0f} KiB "
           f"(vs {sum(l.weight.size for _, l in model.quantizable_linears()) * 2 / 2**10:.0f} KiB FP16)")
-    print(f"   identical greedy continuations: {identical}/{len(PROMPTS)}")
+    print(f"   greedy continuations surviving quantization: {identical} of "
+          f"{1 + len(PROMPTS) // 2}")
+    print(f"   FineQ decode throughput: "
+          f"{q_engine.stats.decode_tokens_per_s:7,.0f} tok/s")
 
 
 if __name__ == "__main__":

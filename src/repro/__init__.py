@@ -7,8 +7,9 @@ Public API highlights
 * :func:`repro.quant.get_quantizer` — baseline quantizers (Uniform, RTN,
   GPTQ, PB-LLM, OWQ).
 * :class:`repro.core.FineQQuantizer` — the paper's contribution.
-* :class:`repro.serve.GenerationEngine` — batched continuous-batching
-  serving over a preallocated KV cache.
+* :class:`repro.serve.GenerationEngine` — persistent continuous-batching
+  serving sessions (submit/stream/cancel with per-request
+  :class:`repro.serve.SamplingParams`) over paged or quantized KV caches.
 * :mod:`repro.hw` — temporal-coding accelerator functional + cycle model.
 * :mod:`repro.experiments` — one module per paper table/figure.
 """

@@ -67,7 +67,8 @@ class MultiHeadAttention(Module):
                 layer_index: int = 0, positions: np.ndarray | None = None,
                 kv_mask: np.ndarray | None = None,
                 cache_rows: np.ndarray | None = None,
-                cache_lens: np.ndarray | None = None) -> Tensor:
+                cache_lens: np.ndarray | None = None,
+                decode_rows: np.ndarray | None = None) -> Tensor:
         """Attend over ``x`` plus any cached context.
 
         ``positions`` (``(batch, seq)`` absolute positions) and ``kv_mask``
@@ -77,9 +78,12 @@ class MultiHeadAttention(Module):
         prefill into specific rows of a larger cache slot pool; those rows
         are fresh, so the current K/V are the entire context, and
         ``cache_lens`` carries each row's true (unpadded) length so paged
-        caches allocate and account only for real tokens.  ``cache`` may
-        be rectangular or paged (possibly quantized): all variants share
-        the same write methods and return full-context K/V arrays.
+        caches allocate and account only for real tokens.  ``decode_rows``
+        routes a single-token decode into specific cache rows: ``x`` holds
+        only the engine's *active* slots, so idle slots are neither
+        forwarded nor gathered.  ``cache`` may be rectangular or paged
+        (possibly quantized): all variants share the same write methods
+        and return full-context K/V arrays.
         """
         batch, seq, _ = x.shape
         if cache_rows is not None or cache is None:
@@ -99,7 +103,8 @@ class MultiHeadAttention(Module):
                                  row_lengths=cache_lens)
             elif positions is not None and seq == 1:
                 k_data, v_data = cache.write_token(layer_index, k.data, v.data,
-                                                   positions[:, 0])
+                                                   positions[:, 0],
+                                                   rows=decode_rows)
                 k, v = Tensor(k_data), Tensor(v_data)
             else:
                 k_data, v_data = cache.append(layer_index, k.data, v.data)

@@ -93,22 +93,34 @@ class KVCache:
         return self._views(layer)
 
     def write_token(self, layer: int, k: np.ndarray, v: np.ndarray,
-                    positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+                    positions: np.ndarray,
+                    rows: np.ndarray | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
         """Scatter one decode token per batch row at ``positions``.
 
         ``k``/``v`` are ``(batch, heads, 1, head_dim)``; row ``b`` is
         written at time slot ``positions[b]``.  The layer length becomes
         the furthest slot ever written, so the returned views cover every
         row's context (shorter rows mask the tail in attention).
+
+        ``rows`` selects a sub-batch of cache rows (the serving engine's
+        active slots): ``k``/``v`` then carry ``len(rows)`` entries and
+        the returned context is gathered for those rows only, so idle
+        slots cost no decode work.
         """
         positions = np.asarray(positions, dtype=np.int64)
         needed = int(positions.max()) + 1
         self._ensure(layer, k, max(needed, self._lengths[layer]))
-        rows = np.arange(k.shape[0])
-        self._keys[layer][rows, :, positions] = k[:, :, 0]
-        self._values[layer][rows, :, positions] = v[:, :, 0]
+        row_idx = np.arange(k.shape[0]) if rows is None \
+            else np.asarray(rows, dtype=np.int64)
+        self._keys[layer][row_idx, :, positions] = k[:, :, 0]
+        self._values[layer][row_idx, :, positions] = v[:, :, 0]
         self._lengths[layer] = max(self._lengths[layer], needed)
-        return self._views(layer)
+        if rows is None:
+            return self._views(layer)
+        length = self._lengths[layer]
+        return (self._keys[layer][row_idx, :, :length],
+                self._values[layer][row_idx, :, :length])
 
     def write_rows(self, layer: int, k: np.ndarray, v: np.ndarray,
                    rows: np.ndarray,
@@ -134,6 +146,15 @@ class KVCache:
     def free_rows(self, rows: np.ndarray) -> None:
         """Interface parity with the paged caches: rectangular rows are
         reused in place by the next ``write_rows``, nothing to release."""
+
+    def trim(self, max_len: int) -> None:
+        """Clamp the logical context width to ``max_len`` time steps.
+
+        A long-lived serving session calls this when rows retire so the
+        read width tracks the *live* rows' longest context instead of the
+        historical high-water mark; buffers keep their capacity.
+        """
+        self._lengths = [min(length, max_len) for length in self._lengths]
 
     # ------------------------------------------------------------------ #
     # bookkeeping

@@ -67,12 +67,14 @@ class TransformerLM(Module):
                 kv_mask: np.ndarray | None = None,
                 cache_rows: np.ndarray | None = None,
                 cache_lens: np.ndarray | None = None,
+                decode_rows: np.ndarray | None = None,
                 logits_positions: np.ndarray | None = None) -> Tensor:
         """Return logits ``(batch, seq, vocab)`` for integer ``tokens``.
 
-        ``positions``/``kv_mask``/``cache_rows``/``cache_lens`` thread the
-        serving engine's ragged-batch decode and slot-targeted prefill
-        through to attention (see
+        ``positions``/``kv_mask``/``cache_rows``/``cache_lens``/
+        ``decode_rows`` thread the serving engine's ragged-batch decode
+        (``decode_rows``: active-slot sub-batch decode into specific cache
+        rows) and slot-targeted prefill through to attention (see
         :class:`repro.nn.attention.MultiHeadAttention`).
 
         ``logits_positions`` (``(batch,)`` per-row indices into ``seq``)
@@ -90,7 +92,7 @@ class TransformerLM(Module):
         for index, block in enumerate(self.blocks):
             x = block(x, cache=cache, layer_index=index, positions=positions,
                       kv_mask=kv_mask, cache_rows=cache_rows,
-                      cache_lens=cache_lens)
+                      cache_lens=cache_lens, decode_rows=decode_rows)
         if logits_positions is not None:
             rows = np.arange(x.shape[0])
             last = np.asarray(logits_positions, dtype=np.int64)

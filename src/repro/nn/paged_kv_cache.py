@@ -138,6 +138,18 @@ class PagedKVCache:
             raise ValueError(f"batch mismatch: cache pinned to {self.batch} "
                              f"rows, got {data.shape[0]}")
 
+    def _resolve_rows(self, data: np.ndarray,
+                      rows: np.ndarray | None) -> np.ndarray:
+        """Validated int64 row indices for a write (``None`` = all rows)."""
+        if rows is None:
+            self._check_batch(data)
+            return self._row_index
+        row_idx = np.asarray(rows, dtype=np.int64)
+        if data.shape[0] != len(row_idx):
+            raise ValueError(f"sub-batch mismatch: {len(row_idx)} rows, "
+                             f"got {data.shape[0]} k/v entries")
+        return row_idx
+
     def _setup_layers(self) -> None:
         self._pool_k: list[np.ndarray | None] = [None] * self.num_layers
         self._pool_v: list[np.ndarray | None] = [None] * self.num_layers
@@ -191,6 +203,20 @@ class PagedKVCache:
             self._blocks_per_row[row] = 0
             self._row_len[row] = 0
 
+    def free_blocks(self) -> int:
+        """Blocks on the shared free list (allocated but unowned)."""
+        return len(self._free)
+
+    def trim(self, max_len: int) -> None:
+        """Clamp the logical context width to ``max_len`` time steps.
+
+        Shrinks the per-layer read width after rows retire so a
+        persistent session stops gathering (and, quantized, decoding)
+        the historical longest row's width; pool blocks are unaffected
+        (``free_rows`` already reclaimed them).
+        """
+        self._lengths = [min(length, max_len) for length in self._lengths]
+
     # ------------------------------------------------------------------ #
     # write paths (rectangular-cache interface)
     # ------------------------------------------------------------------ #
@@ -219,24 +245,31 @@ class PagedKVCache:
         return self._context(layer)
 
     def write_token(self, layer: int, k: np.ndarray, v: np.ndarray,
-                    positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Scatter one decode token per batch row at ``positions``."""
-        self._check_batch(k)
+                    positions: np.ndarray,
+                    rows: np.ndarray | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scatter one decode token per batch row at ``positions``.
+
+        ``rows`` (a sub-batch of cache rows, the engine's active slots)
+        restricts both the writes and the returned gathered context to
+        those rows; idle rows then pin no blocks and cost no gather.
+        """
+        row_idx = self._resolve_rows(k, rows)
         if self._heads is None:
             self._init_storage(k)
         positions = np.asarray(positions, dtype=np.int64)
         bs = self.block_size
-        rows = self._row_index
         blocks = positions // bs
-        self._ensure_row_blocks(rows, blocks + 1)
-        ids = self._tables[rows, blocks]
+        self._ensure_row_blocks(row_idx, blocks + 1)
+        ids = self._tables[row_idx, blocks]
         slots = positions % bs
         self._pool_k[layer][ids, :, slots] = k[:, :, 0]
         self._pool_v[layer][ids, :, slots] = v[:, :, 0]
         self._lengths[layer] = max(self._lengths[layer],
                                    int(positions.max()) + 1)
-        np.maximum(self._row_len, positions + 1, out=self._row_len)
-        return self._context(layer)
+        self._row_len[row_idx] = np.maximum(self._row_len[row_idx],
+                                            positions + 1)
+        return self._context(layer, rows=None if rows is None else row_idx)
 
     def write_rows(self, layer: int, k: np.ndarray, v: np.ndarray,
                    rows: np.ndarray,
@@ -280,20 +313,25 @@ class PagedKVCache:
     # ------------------------------------------------------------------ #
     # read path
     # ------------------------------------------------------------------ #
-    def _block_ids(self, nblk: int) -> np.ndarray:
+    def _block_ids(self, nblk: int,
+                   rows: np.ndarray | None = None) -> np.ndarray:
         """Per-row block ids padded to ``nblk`` columns (pad gathers block
-        0 — finite stale data that per-row masks zero out)."""
-        width = self._tables.shape[1]
+        0 — finite stale data that per-row masks zero out).  ``rows``
+        restricts the result to a sub-batch without ever materialising
+        the full-batch matrix."""
+        tables = self._tables if rows is None else self._tables[rows]
+        width = tables.shape[1]
         if width >= nblk:
-            return self._tables[:, :nblk]
-        ids = np.zeros((self.batch, nblk), dtype=np.int64)
-        ids[:, :width] = self._tables
+            return tables[:, :nblk]
+        ids = np.zeros((tables.shape[0], nblk), dtype=np.int64)
+        ids[:, :width] = tables
         return ids
 
-    def _context(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+    def _context(self, layer: int, rows: np.ndarray | None = None
+                 ) -> tuple[np.ndarray, np.ndarray]:
         total = self._lengths[layer]
         nblk = _blocks_needed(total, self.block_size)
-        ids = self._block_ids(nblk)
+        ids = self._block_ids(nblk, rows)
         return (self._gather(self._pool_k[layer], ids)[:, :, :total],
                 self._gather(self._pool_v[layer], ids)[:, :, :total])
 
@@ -398,30 +436,32 @@ class QuantizedPagedKVCache(PagedKVCache):
             scale_pool[ids] = scales.reshape(count, self._channels)
 
     def write_token(self, layer: int, k: np.ndarray, v: np.ndarray,
-                    positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        self._check_batch(k)
+                    positions: np.ndarray,
+                    rows: np.ndarray | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        row_idx = self._resolve_rows(k, rows)
         if self._heads is None:
             self._init_storage(k)
         positions = np.asarray(positions, dtype=np.int64)
         bs = self.block_size
-        rows = self._row_index
         slots = positions % bs
         # A row starting block b quantizes its buffered block b-1 first.
         flush = (slots == 0) & (positions > 0)
         if flush.any():
-            flush_rows = rows[flush]
+            flush_rows = row_idx[flush]
             block_index = positions[flush] // bs - 1
             self._ensure_row_blocks(flush_rows, block_index + 1)
             ids = self._tables[flush_rows, block_index]
             self._quantize_into(layer, ids,
                                 self._buf_k[layer][flush_rows],
                                 self._buf_v[layer][flush_rows])
-        self._buf_k[layer][rows, :, slots] = k[:, :, 0]
-        self._buf_v[layer][rows, :, slots] = v[:, :, 0]
+        self._buf_k[layer][row_idx, :, slots] = k[:, :, 0]
+        self._buf_v[layer][row_idx, :, slots] = v[:, :, 0]
         self._lengths[layer] = max(self._lengths[layer],
                                    int(positions.max()) + 1)
-        np.maximum(self._row_len, positions + 1, out=self._row_len)
-        return self._context(layer)
+        self._row_len[row_idx] = np.maximum(self._row_len[row_idx],
+                                            positions + 1)
+        return self._context(layer, rows=None if rows is None else row_idx)
 
     def write_rows(self, layer: int, k: np.ndarray, v: np.ndarray,
                    rows: np.ndarray,
@@ -470,39 +510,43 @@ class QuantizedPagedKVCache(PagedKVCache):
     # ------------------------------------------------------------------ #
     # read path
     # ------------------------------------------------------------------ #
-    def _context(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+    def _context(self, layer: int, rows: np.ndarray | None = None
+                 ) -> tuple[np.ndarray, np.ndarray]:
         total = self._lengths[layer]
         bs = self.block_size
         nblk = _blocks_needed(total, bs)
+        row_idx = self._row_index if rows is None else rows
+        n = len(row_idx)
         # Decode only blocks a row actually owns (its quantized prefix):
         # current blocks are overwritten by the FP32 overlay below and
         # stale/padding table slots carry nothing, so decoding them would
         # be wasted LUT work on the hot read path.  Unowned positions stay
         # zero — finite, and masked or sliced away by the caller.
-        owned = np.arange(nblk)[None, :] < self._blocks_per_row[:, None]
+        owned = np.arange(nblk)[None, :] < self._blocks_per_row[row_idx, None]
         flat_owned = owned.reshape(-1)
-        selected = self._block_ids(nblk).reshape(-1)[flat_owned]
-        live = np.nonzero(self._row_len > 0)[0]
-        current = (self._row_len[live] - 1) // bs
+        selected = self._block_ids(nblk, rows).reshape(-1)[flat_owned]
+        row_lens = self._row_len[row_idx]
+        live = np.nonzero(row_lens > 0)[0]  # indices into the sub-batch
+        current = (row_lens[live] - 1) // bs
         out = []
         for payload_pool, scale_pool, buf in (
                 (self._payload_k[layer], self._scale_k[layer], self._buf_k[layer]),
                 (self._payload_v[layer], self._scale_v[layer], self._buf_v[layer])):
-            channels = np.zeros((self.batch * nblk, self._channels, bs),
+            channels = np.zeros((n * nblk, self._channels, bs),
                                 dtype=np.float32)
             if selected.size:
                 channels[flat_owned] = dequantize_kv_channels(
                     payload_pool[selected].reshape(-1, self._payload_bytes),
                     scale_pool[selected].reshape(-1), bs
                 ).reshape(-1, self._channels, bs)
-            blocks = channels.reshape(self.batch, nblk, self._heads,
+            blocks = channels.reshape(n, nblk, self._heads,
                                       self._head_dim, bs) \
                              .transpose(0, 1, 2, 4, 3)
             # Overlay each live row's FP32 current block (exact values for
             # the newest <= block_size tokens).
-            blocks[live, current] = buf[live]
+            blocks[live, current] = buf[row_idx[live]]
             out.append(blocks.transpose(0, 2, 1, 3, 4).reshape(
-                self.batch, self._heads, nblk * bs, self._head_dim)[:, :, :total])
+                n, self._heads, nblk * bs, self._head_dim)[:, :, :total])
         return out[0], out[1]
 
     # ------------------------------------------------------------------ #

@@ -1,21 +1,31 @@
-"""Batched serving engine: continuous batching over a preallocated KV cache.
+"""Request-centric serving engine: persistent continuous-batching sessions.
 
 The FineQ co-design story (like MixPE and FGMP) only pays off if the
 software decode loop is not the bottleneck.  This package provides the
-batched generation engine the rest of the repo serves through, plus the
-throughput benchmarking utilities that keep its speedup a tracked number.
+persistent :class:`GenerationEngine` session the rest of the repo serves
+through — submit/stream/cancel with per-request :class:`SamplingParams`
+— plus the throughput, memory, and streaming-latency benchmarking
+utilities that keep its speedups tracked numbers.
 """
 
-from repro.serve.engine import (KV_CACHE_MODES, Completion, EngineStats,
-                                GenerationEngine, Request)
-from repro.serve.bench import (MemoryPoint, MemoryReport, ThroughputPoint,
+from repro.serve.engine import (FINISH_REASONS, KV_CACHE_MODES, Completion,
+                                EngineStats, GenerationEngine, Request,
+                                SamplingParams, TokenEvent,
+                                apply_top_k_top_p)
+from repro.serve.bench import (MemoryPoint, MemoryReport, StreamLatencyPoint,
+                               StreamLatencyReport, ThroughputPoint,
                                ThroughputReport, bench_prompts,
-                               engine_throughput, memory_point, memory_sweep,
-                               sequential_throughput, throughput_sweep)
+                               engine_throughput, latency_sweep, memory_point,
+                               memory_sweep, sequential_throughput,
+                               serve_session, stream_latency,
+                               throughput_sweep)
 
 __all__ = [
-    "Completion", "EngineStats", "GenerationEngine", "KV_CACHE_MODES",
-    "Request", "MemoryPoint", "MemoryReport", "ThroughputPoint",
-    "ThroughputReport", "bench_prompts", "engine_throughput", "memory_point",
-    "memory_sweep", "sequential_throughput", "throughput_sweep",
+    "Completion", "EngineStats", "FINISH_REASONS", "GenerationEngine",
+    "KV_CACHE_MODES", "Request", "SamplingParams", "TokenEvent",
+    "apply_top_k_top_p", "MemoryPoint", "MemoryReport", "StreamLatencyPoint",
+    "StreamLatencyReport", "ThroughputPoint", "ThroughputReport",
+    "bench_prompts", "engine_throughput", "latency_sweep", "memory_point",
+    "memory_sweep", "sequential_throughput", "serve_session",
+    "stream_latency", "throughput_sweep",
 ]

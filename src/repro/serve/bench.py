@@ -1,16 +1,22 @@
-"""Throughput and cache-memory measurement for the serving engine.
+"""Throughput, cache-memory, and streaming-latency measurement.
 
+All engine measurements drive the request-centric session API (``submit``
++ ``stream``), the same surface a serving client uses.
 ``throughput_sweep`` compares the sequential one-sequence-at-a-time
 decode loop (the seed baseline) against the batched engine at several
 batch sizes, reporting prefill and decode tokens/sec.  ``memory_sweep``
 serves longer generations through the paged FP32 and FineQ-quantized
 cache backends and reports bytes per cached token (at the live-token
 high-water mark) next to decode tokens/sec — the numbers behind the
-quantized-KV memory claim.  Run directly for a smoke report on an
-untrained tiny model (fast enough for CI):
+quantized-KV memory claim.  ``latency_sweep`` times the gaps between a
+request's streamed :class:`~repro.serve.engine.TokenEvent`s and reports
+mean/p95 inter-token seconds — the number a streaming consumer actually
+experiences.  Run directly for a smoke report on an untrained tiny model
+(fast enough for CI):
 
     PYTHONPATH=src python -m repro.serve --smoke
     PYTHONPATH=src python -m repro.serve --mem --smoke --json BENCH_serve_mem.json
+    PYTHONPATH=src python -m repro.serve --stream --smoke --json BENCH_serve_stream.json
 """
 
 from __future__ import annotations
@@ -113,11 +119,55 @@ def sequential_throughput(model: TransformerLM, prompts: list[np.ndarray],
                            decode_seconds=decode_seconds)
 
 
+def serve_session(model: TransformerLM, prompts: list[np.ndarray],
+                  max_new_tokens: int, batch_size: int,
+                  kv_cache: str = "paged", block_size: int = 16
+                  ) -> tuple[GenerationEngine, "StreamLatencyPoint"]:
+    """Drive one full wave through a fresh session, timing the stream.
+
+    The single drain loop behind every engine measurement: returns the
+    drained engine (its ``stats`` carry throughput and memory numbers)
+    plus the :class:`StreamLatencyPoint` observed on the event stream,
+    so one serve yields every metric.
+
+    Every event of a decode step shares that step's wall-clock arrival,
+    so a request's inter-token gap is the engine step time it actually
+    waited — the streaming analogue of decode tokens/sec, but measured
+    per request instead of aggregated.
+    """
+    engine = GenerationEngine(model, max_batch_size=batch_size,
+                              kv_cache=kv_cache, block_size=block_size)
+    for prompt in prompts:
+        engine.submit(prompt, max_new_tokens)
+    last_seen: dict[int, float] = {}
+    gaps: list[float] = []
+    firsts: list[float] = []
+    count = 0
+    start = time.perf_counter()
+    for event in engine.stream():
+        now = time.perf_counter()
+        count += 1
+        previous = last_seen.get(event.request_id)
+        if previous is None:
+            firsts.append(now - start)
+        else:
+            gaps.append(now - previous)
+        last_seen[event.request_id] = now
+    engine.take_completions()
+    latency = StreamLatencyPoint(
+        batch_size=batch_size, num_sequences=len(prompts),
+        max_new_tokens=max_new_tokens, num_events=count,
+        mean_first_token_s=float(np.mean(firsts)) if firsts else 0.0,
+        mean_inter_token_s=float(np.mean(gaps)) if gaps else 0.0,
+        p95_inter_token_s=float(np.percentile(gaps, 95)) if gaps else 0.0)
+    return engine, latency
+
+
 def engine_throughput(model: TransformerLM, prompts: list[np.ndarray],
                       max_new_tokens: int, batch_size: int) -> ThroughputPoint:
-    """Serve ``prompts`` through a fresh engine and report its stats."""
-    engine = GenerationEngine(model, max_batch_size=batch_size)
-    engine.generate_batch(prompts, max_new_tokens)
+    """Serve ``prompts`` through a fresh engine session and report stats."""
+    engine, _latency = serve_session(model, prompts, max_new_tokens,
+                                     batch_size)
     stats = engine.stats
     return ThroughputPoint(label=f"engine b={batch_size}",
                            batch_size=batch_size,
@@ -202,9 +252,9 @@ def memory_point(model: TransformerLM, prompts: list[np.ndarray],
                  max_new_tokens: int, batch_size: int, mode: str,
                  block_size: int = 16) -> MemoryPoint:
     """Serve ``prompts`` through one cache backend and record memory stats."""
-    engine = GenerationEngine(model, max_batch_size=batch_size,
-                              kv_cache=mode, block_size=block_size)
-    engine.generate_batch(prompts, max_new_tokens)
+    engine, _latency = serve_session(model, prompts, max_new_tokens,
+                                     batch_size, kv_cache=mode,
+                                     block_size=block_size)
     stats = engine.stats
     config = model.config
     max_len = min(max(len(p) for p in prompts) + max_new_tokens,
@@ -247,6 +297,72 @@ def memory_sweep(model: TransformerLM, max_new_tokens: int = 112,
                         points=tuple(points))
 
 
+@dataclass(frozen=True)
+class StreamLatencyPoint:
+    """Inter-token latency of one streamed engine configuration."""
+
+    batch_size: int
+    num_sequences: int
+    max_new_tokens: int
+    num_events: int
+    mean_first_token_s: float   # stream start -> a request's first event
+    mean_inter_token_s: float   # gap between a request's adjacent events
+    p95_inter_token_s: float
+
+    @property
+    def streamed_tokens_per_s(self) -> float:
+        return 1.0 / self.mean_inter_token_s if self.mean_inter_token_s else 0.0
+
+
+@dataclass(frozen=True)
+class StreamLatencyReport:
+    """Streaming latency per measured batch size."""
+
+    model: str
+    points: tuple[StreamLatencyPoint, ...]
+
+    def rows(self) -> list[list[str]]:
+        out = []
+        for p in self.points:
+            out.append([str(p.batch_size), str(p.num_events),
+                        f"{1e3 * p.mean_first_token_s:,.1f}",
+                        f"{1e3 * p.mean_inter_token_s:,.2f}",
+                        f"{1e3 * p.p95_inter_token_s:,.2f}",
+                        f"{p.streamed_tokens_per_s:,.0f}"])
+        return out
+
+    def to_dict(self) -> dict:
+        points = []
+        for p in self.points:
+            entry = asdict(p)
+            entry["streamed_tokens_per_s"] = p.streamed_tokens_per_s
+            points.append(entry)
+        return {"model": self.model, "points": points}
+
+
+def stream_latency(model: TransformerLM, prompts: list[np.ndarray],
+                   max_new_tokens: int, batch_size: int,
+                   kv_cache: str = "paged") -> StreamLatencyPoint:
+    """Time the token-event stream a serving client would consume."""
+    _engine, latency = serve_session(model, prompts, max_new_tokens,
+                                     batch_size, kv_cache=kv_cache)
+    return latency
+
+
+def latency_sweep(model: TransformerLM, max_new_tokens: int = 32,
+                  batch_sizes: tuple[int, ...] = (4, 16),
+                  num_prompts: int | None = None,
+                  seed: int = 0) -> StreamLatencyReport:
+    """Mean/p95 inter-token seconds at each batch size (one full wave)."""
+    points = []
+    for batch_size in batch_sizes:
+        prompts = bench_prompts(model.config.vocab_size,
+                                num=num_prompts or batch_size, seed=seed)
+        points.append(stream_latency(model, prompts, max_new_tokens,
+                                     batch_size))
+    return StreamLatencyReport(model=model.config.name, points=tuple(points))
+
+
 def main(argv: list[str] | None = None) -> None:
     import argparse
 
@@ -260,8 +376,12 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--mem", action="store_true",
                         help="run the paged/quantized cache memory sweep "
                              "instead of the throughput sweep")
+    parser.add_argument("--stream", action="store_true",
+                        help="run the streaming inter-token latency sweep "
+                             "instead of the throughput sweep")
     parser.add_argument("--json", default=None, metavar="PATH",
-                        help="also write the report as JSON (--mem only)")
+                        help="also write the report as JSON "
+                             "(--mem or --stream only)")
     parser.add_argument("--num-prompts", type=int, default=None,
                         help="prompts to serve (default 16; fixed at one "
                              "full wave per batch size with --mem)")
@@ -269,7 +389,8 @@ def main(argv: list[str] | None = None) -> None:
                         help="tokens per sequence (default 32; 112 with "
                              "--mem so most tokens sit in full blocks)")
     parser.add_argument("--batch-sizes", default=None,
-                        help="comma list (default 1,4,16; 16,32,64 with --mem)")
+                        help="comma list (default 1,4,16; 16,32,64 with "
+                             "--mem; 4,16 with --stream)")
     args = parser.parse_args(argv)
 
     if args.model and not args.smoke:
@@ -281,9 +402,29 @@ def main(argv: list[str] | None = None) -> None:
         model = TransformerLM(tiny_config(vocab_size=256, seed=0))
         name = "tiny (untrained)"
 
-    if args.json and not args.mem:
-        parser.error("--json requires --mem (only the memory sweep has a "
-                     "JSON report)")
+    if args.mem and args.stream:
+        parser.error("--mem and --stream are separate sweeps; pick one")
+    if args.json and not (args.mem or args.stream):
+        parser.error("--json requires --mem or --stream (the throughput "
+                     "sweep has no JSON report)")
+    if args.stream:
+        batches = tuple(int(b) for b in
+                        (args.batch_sizes or "4,16").split(","))
+        max_new = (args.max_new_tokens if args.max_new_tokens is not None
+                   else (8 if args.smoke else 32))
+        report = latency_sweep(model, max_new_tokens=max_new,
+                               batch_sizes=batches,
+                               num_prompts=args.num_prompts)
+        print(f"streaming inter-token latency on {name} "
+              f"({max_new} new tokens per sequence)")
+        print(format_table(["batch", "events", "first-token ms",
+                            "inter-token ms", "p95 ms", "stream tok/s"],
+                           report.rows()))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(report.to_dict(), handle, indent=2)
+            print(f"wrote {args.json}")
+        return
     if args.mem:
         if args.num_prompts is not None:
             parser.error("--num-prompts has no effect with --mem "

@@ -1,12 +1,33 @@
-"""Continuous-batching generation engine.
+"""Request-centric continuous-batching generation engine.
 
-One engine step forwards every cache slot at once: a single-token decode
-for the whole batch, with per-row RoPE positions and an additive key mask
-so sequences of different lengths share one cache.  Finished sequences
-free their slot (and, with a paged cache, their blocks) immediately and
-waiting prompts are prefilled into the freed rows as a sub-batch
-(``cache_rows``), so the batch stays full while the queue drains — the
-standard continuous-batching discipline, scaled down.
+The engine is a *persistent session*: the KV cache and slot state are
+engine members created once, so requests can be submitted, streamed, and
+cancelled while serving is live instead of queueing for a one-shot batch
+drain.  One :meth:`GenerationEngine.step` admits waiting prompts into
+free slots (a ragged sub-batch prefill) and advances every *active* slot
+by one decode token — idle slots are neither forwarded nor gathered
+(``decode_rows`` threads the active sub-batch down to the cache), so a
+draining batch costs only its live rows.
+
+Typical streaming client::
+
+    engine = GenerationEngine(model, max_batch_size=8)
+    engine.submit(prompt_a, params=SamplingParams(max_new_tokens=32,
+                                                  temperature=0.8,
+                                                  top_p=0.95, seed=7))
+    engine.submit(prompt_b, max_new_tokens=16)        # greedy shorthand
+    for event in engine.stream():                     # TokenEvent stream
+        print(event.request_id, event.token, event.finish_reason)
+        if event.request_id == 0 and event.token == BORING:
+            engine.cancel(0)                          # frees row + blocks
+        if need_more_work:
+            engine.submit(prompt_c, max_new_tokens=8) # mid-flight is fine
+    done = engine.take_completions()
+
+Per-request knobs live in a frozen :class:`SamplingParams` (temperature,
+top-k, top-p, per-request seed, stop tokens, token budget); sampling is
+vectorized across the batch with per-request RNG streams, so identical
+requests sample identically regardless of batch composition.
 
 The cache backend is selected by ``kv_cache``:
 
@@ -22,21 +43,24 @@ The cache backend is selected by ``kv_cache``:
 
 Greedy decoding on the ``"paged"`` and ``"dense"`` paths is
 token-identical to the sequential
-:meth:`repro.nn.model.TransformerLM.generate` path: per-row positions
+:meth:`repro.nn.model.TransformerLM.generate` path — including with
+mid-flight submission and cancelled neighbour rows: per-row positions
 match the sequential position counter exactly, cache reads return the
 same float values, and masked slots contribute exact zeros to the
 attention averages.
 
 Prefill is lean: the final norm and LM-head projection run only at each
 row's last prompt position (``logits_positions``), so prefill cost no
-longer scales with ``vocab x prompt_len``.
+longer scales with ``vocab x prompt_len``.  :meth:`GenerationEngine.run`
+and :meth:`GenerationEngine.generate_batch` remain as thin wrappers over
+:meth:`GenerationEngine.step` for batch-oriented callers.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -49,6 +73,48 @@ from repro.nn.model import TransformerLM
 #: Engine cache backends: constructor keyed by the ``kv_cache`` argument.
 KV_CACHE_MODES = ("paged", "fineq", "dense")
 
+#: Every terminal state a request can reach.
+FINISH_REASONS = ("length", "eos", "stop", "max_seq_len", "cancelled")
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """Frozen per-request generation knobs.
+
+    ``seed`` drives a private ``np.random.Generator`` for the request, so
+    its sampled continuation is a function of (prompt, params) alone —
+    batch neighbours never perturb it.  ``seed=None`` asks the engine to
+    draw one from its own stream at submit time (reproducible per engine
+    seed + submission order).  ``top_k``/``top_p`` of ``None`` disable
+    the respective filter; ``top_k=1`` is exact greedy.  ``stop_tokens``
+    terminate the request the step they are generated (the stop token is
+    kept, mirroring ``eos`` handling).
+    """
+
+    max_new_tokens: int = 16
+    temperature: float = 0.0
+    top_k: int | None = None
+    top_p: float | None = None
+    seed: int | None = None
+    stop_tokens: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        if self.temperature < 0.0:
+            raise ValueError("temperature must be >= 0")
+        if self.top_k is not None and self.top_k < 1:
+            raise ValueError("top_k must be >= 1 (or None to disable)")
+        if self.top_p is not None and not 0.0 < self.top_p <= 1.0:
+            raise ValueError("top_p must be in (0, 1] (or None to disable)")
+        object.__setattr__(self, "stop_tokens",
+                           tuple(int(t) for t in self.stop_tokens))
+
+    @property
+    def greedy(self) -> bool:
+        """True when sampling degenerates to argmax (token-identical)."""
+        return self.temperature <= 0.0 or self.top_k == 1
+
 
 @dataclass(frozen=True)
 class Request:
@@ -56,8 +122,30 @@ class Request:
 
     request_id: int
     prompt: np.ndarray
-    max_new_tokens: int
-    temperature: float = 0.0
+    params: SamplingParams
+
+    # PR 1 compatibility: the old flat fields read through to params.
+    @property
+    def max_new_tokens(self) -> int:
+        return self.params.max_new_tokens
+
+    @property
+    def temperature(self) -> float:
+        return self.params.temperature
+
+
+@dataclass(frozen=True)
+class TokenEvent:
+    """One streamed token (or terminal notice) for a request.
+
+    ``token`` is ``None`` only for events that produce no token (a
+    cancellation).  ``finish_reason`` is ``None`` while the request is
+    still running and one of :data:`FINISH_REASONS` on its final event.
+    """
+
+    request_id: int
+    token: int | None
+    finish_reason: str | None = None
 
 
 @dataclass
@@ -67,7 +155,7 @@ class Completion:
     request_id: int
     tokens: np.ndarray
     prompt_len: int
-    finish_reason: str  # "length" | "eos" | "max_seq_len"
+    finish_reason: str  # one of FINISH_REASONS
 
     @property
     def new_tokens(self) -> np.ndarray:
@@ -114,11 +202,56 @@ class _Slot:
     """Live per-row decoding state."""
 
     request: Request
+    rng: np.random.Generator
     generated: list[int] = field(default_factory=list)
 
 
+def apply_top_k_top_p(scaled: np.ndarray, top_k: np.ndarray,
+                      top_p: np.ndarray) -> np.ndarray:
+    """Mask ``(batch, vocab)`` scaled logits to each row's top-k/top-p set.
+
+    ``top_k`` holds per-row k (``vocab`` disables), ``top_p`` per-row
+    nucleus mass (``1.0`` disables).  One descending sort serves both
+    filters: the k-th sorted logit is the top-k threshold, and the
+    smallest sorted logit inside the minimal nucleus whose probability
+    mass reaches ``top_p`` is the top-p threshold.  Ties at a threshold
+    are kept (deterministic, never empties a row); masked entries are
+    ``-inf`` so downstream softmax zeroes them exactly.
+    """
+    vocab = scaled.shape[-1]
+    top_k = np.minimum(np.asarray(top_k, dtype=np.int64), vocab)
+    top_p = np.asarray(top_p, dtype=np.float64)
+    if np.all(top_k >= vocab) and np.all(top_p >= 1.0):
+        return scaled
+    order = np.argsort(scaled, axis=-1)[:, ::-1]
+    sorted_logits = np.take_along_axis(scaled, order, axis=-1)
+    kth = np.take_along_axis(sorted_logits, top_k[:, None] - 1, axis=-1)
+    keep = scaled >= kth
+    if np.any(top_p < 1.0):
+        shifted = sorted_logits - sorted_logits[:, :1]
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=-1, keepdims=True)
+        csum = probs.cumsum(axis=-1)
+        # A sorted position is inside the nucleus while the mass *before*
+        # it is < top_p; the first token is therefore always kept.
+        in_nucleus = (csum - probs) < top_p[:, None]
+        counts = in_nucleus.sum(axis=-1)
+        cutoff = np.take_along_axis(sorted_logits, counts[:, None] - 1,
+                                    axis=-1)
+        keep &= scaled >= cutoff
+    return np.where(keep, scaled, -np.inf)
+
+
 class GenerationEngine:
-    """Batched generation over a fixed pool of KV-cache slots.
+    """A persistent serving session over a fixed pool of KV-cache slots.
+
+    The cache and per-slot state live for the engine's lifetime:
+    :meth:`submit` enqueues work at any time (including mid-stream),
+    :meth:`step` advances one admit+decode iteration, :meth:`stream`
+    yields :class:`TokenEvent`s as tokens land, :meth:`cancel` frees a
+    request's row and cache blocks immediately, and
+    :meth:`take_completions` drains finished requests.  :meth:`run` and
+    :meth:`generate_batch` wrap :meth:`step` for batch-oriented callers.
 
     Parameters
     ----------
@@ -130,8 +263,8 @@ class GenerationEngine:
     eos_token:
         Optional token id that terminates a sequence early.
     rng:
-        Generator for temperature sampling (one shared stream; greedy
-        requests consume nothing).
+        Engine-level generator; only used to draw per-request seeds for
+        requests that did not fix one in :class:`SamplingParams`.
     kv_cache:
         Cache backend: ``"paged"`` (default), ``"fineq"`` (quantized
         paged), or ``"dense"`` (rectangular baseline).
@@ -159,9 +292,23 @@ class GenerationEngine:
         self.stats = EngineStats()
         self._queue: deque[Request] = deque()
         self._next_id = 0
+        # Session state: created once, reused across every step()/run().
+        self._cache: KVCache | PagedKVCache | None = None
+        self._slots: list[_Slot | None] = [None] * max_batch_size
+        self._lengths = np.zeros(max_batch_size, dtype=np.int64)
+        self._pending = np.zeros(max_batch_size, dtype=np.int64)
+        self._live: dict[int, int] = {}      # request_id -> slot row
+        self._finished: list[Completion] = []
+        self._events: list[TokenEvent] = []  # out-of-step events (cancels)
 
-    def _make_cache(self, batch: int) -> KVCache | PagedKVCache:
+    @property
+    def cache(self) -> KVCache | PagedKVCache | None:
+        """The session's KV cache (None until the first admit)."""
+        return self._cache
+
+    def _make_cache(self) -> KVCache | PagedKVCache:
         num_layers = self.model.config.num_layers
+        batch = self.max_batch_size
         if self.kv_cache == "dense":
             return KVCache(num_layers, batch=batch,
                            initial_capacity=self.initial_capacity)
@@ -171,94 +318,180 @@ class GenerationEngine:
                    initial_blocks=initial_blocks)
 
     # ------------------------------------------------------------------ #
-    # request intake
+    # request intake and cancellation
     # ------------------------------------------------------------------ #
-    def submit(self, prompt: np.ndarray, max_new_tokens: int,
-               temperature: float = 0.0) -> int:
-        """Queue a request; returns its id (completions carry it back)."""
+    def submit(self, prompt: np.ndarray, max_new_tokens: int | None = None,
+               temperature: float | None = None,
+               params: SamplingParams | None = None) -> int:
+        """Queue a request; returns its id (events/completions carry it).
+
+        Either pass ``params`` (the request-centric API) or the PR 1
+        shorthand ``max_new_tokens``/``temperature``, not both.  Works at
+        any time, including while :meth:`stream` is being consumed.
+        """
         prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
         if prompt.size == 0:
             raise ValueError("prompt must contain at least one token")
         if prompt.size > self.model.config.max_seq_len:
             raise ValueError(f"prompt of {prompt.size} tokens exceeds "
                              f"max_seq_len={self.model.config.max_seq_len}")
-        if max_new_tokens < 1:
-            raise ValueError("max_new_tokens must be >= 1")
+        if params is None:
+            if max_new_tokens is None:
+                raise ValueError("pass max_new_tokens or params")
+            params = SamplingParams(max_new_tokens=max_new_tokens,
+                                    temperature=temperature or 0.0)
+        elif max_new_tokens is not None or temperature is not None:
+            raise ValueError("pass either params or the max_new_tokens/"
+                             "temperature shorthand, not both")
+        if params.seed is None:
+            params = replace(params, seed=int(self.rng.integers(2 ** 32)))
         request = Request(request_id=self._next_id, prompt=prompt,
-                          max_new_tokens=max_new_tokens,
-                          temperature=temperature)
+                          params=params)
         self._next_id += 1
         self._queue.append(request)
         return request.request_id
 
+    def cancel(self, request_id: int) -> bool:
+        """Terminate a queued or running request immediately.
+
+        A running request's slot and cache blocks are freed right away;
+        its partial output lands in :meth:`take_completions` with
+        ``finish_reason="cancelled"`` and a terminal :class:`TokenEvent`
+        (``token=None``) is emitted on the next :meth:`step`/
+        :meth:`stream` iteration.  Returns False for ids that are unknown
+        or already finished.
+        """
+        for request in self._queue:
+            if request.request_id == request_id:
+                self._queue.remove(request)
+                self._finished.append(Completion(
+                    request_id=request_id, tokens=request.prompt.copy(),
+                    prompt_len=len(request.prompt),
+                    finish_reason="cancelled"))
+                self._events.append(TokenEvent(request_id, None, "cancelled"))
+                return True
+        row = self._live.get(request_id)
+        if row is None:
+            return False
+        self._retire(row, "cancelled")
+        self._events.append(TokenEvent(request_id, None, "cancelled"))
+        return True
+
     def generate_batch(self, prompts: list[np.ndarray], max_new_tokens: int,
                        temperature: float = 0.0) -> list[np.ndarray]:
-        """Serve ``prompts`` and return full token arrays in input order."""
+        """Serve ``prompts`` and return full token arrays in input order.
+
+        Completions of requests submitted outside this call stay queued
+        for :meth:`take_completions` instead of being dropped.
+        """
         ids = [self.submit(p, max_new_tokens, temperature) for p in prompts]
-        done = {c.request_id: c for c in self.run()}
+        wanted = set(ids)
+        done = {}
+        foreign = []
+        for completion in self.run():
+            if completion.request_id in wanted:
+                done[completion.request_id] = completion
+            else:
+                foreign.append(completion)
+        self._finished.extend(foreign)
         return [done[i].tokens for i in ids]
 
     def reset_stats(self) -> None:
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------ #
-    # the serving loop
+    # the serving session
     # ------------------------------------------------------------------ #
-    def run(self) -> list[Completion]:
-        """Drain the queue with continuous batching; return completions."""
-        if not self._queue:
-            return []
-        batch = min(self.max_batch_size, len(self._queue))
-        cache = self._make_cache(batch)
-        slots: list[_Slot | None] = [None] * batch
-        lengths = np.zeros(batch, dtype=np.int64)   # context tokens per row
-        pending = np.zeros(batch, dtype=np.int64)   # next token to feed
-        completions: list[Completion] = []
+    def has_work(self) -> bool:
+        """True while a step could produce events."""
+        return bool(self._events or self._queue
+                    or any(slot is not None for slot in self._slots))
 
+    @property
+    def num_active(self) -> int:
+        """Slots currently decoding."""
+        return sum(slot is not None for slot in self._slots)
+
+    def step(self) -> list[TokenEvent]:
+        """Advance one admit+decode iteration; return this step's events.
+
+        Buffered out-of-step events (cancellations) flush first, then
+        waiting prompts are prefilled into free slots, then every active
+        slot decodes one token.  Safe to call with nothing to do.
+        """
+        events = self._events
+        self._events = []
         with no_grad():
-            self._admit(cache, slots, lengths, pending, completions)
-            while any(slot is not None for slot in slots):
-                self._decode_step(cache, slots, lengths, pending, completions)
-                if self._queue and any(slot is None for slot in slots):
-                    self._admit(cache, slots, lengths, pending, completions)
-        return completions
+            if self._queue and any(slot is None for slot in self._slots):
+                if self._cache is None:
+                    self._cache = self._make_cache()
+                events += self._admit()
+            if any(slot is not None for slot in self._slots):
+                events += self._decode_step()
+        return events
 
-    def _decode_step(self, cache: KVCache | PagedKVCache,
-                     slots: list[_Slot | None],
-                     lengths: np.ndarray, pending: np.ndarray,
-                     completions: list[Completion]) -> None:
-        """One whole-batch single-token decode + vectorized sampling."""
-        batch = len(slots)
-        active = np.array([slot is not None for slot in slots])
-        # Free rows decode a dummy token at position 0; their slot-0 cache
-        # entry is garbage that the next prefill overwrites, and their
-        # logits are never sampled.  In the paged caches this pins at most
-        # one pool block (fp32) or one buffered token (fineq) per idle
-        # row, reclaimed when the row is readmitted.
-        positions = np.where(active, lengths, 0)
+    def stream(self):
+        """Yield :class:`TokenEvent`s until the session runs dry.
+
+        A generator over repeated :meth:`step` calls; submitting or
+        cancelling between iterations is supported, so a consumer can
+        react to tokens as they land.
+        """
+        while self.has_work():
+            yield from self.step()
+
+    def run(self) -> list[Completion]:
+        """Drain the queue with continuous batching; return completions.
+
+        Returns *every* completion finished since the last drain — in a
+        long-lived session that includes requests that finished under an
+        earlier :meth:`stream` whose completions were never taken.
+        """
+        while self.has_work():
+            self.step()
+        return self.take_completions()
+
+    def take_completions(self) -> list[Completion]:
+        """Drain and return every completion finished since the last take."""
+        finished = self._finished
+        self._finished = []
+        return finished
+
+    def _decode_step(self) -> list[TokenEvent]:
+        """One single-token decode over the active sub-batch."""
+        cache = self._cache
+        slots = self._slots
+        batch = self.max_batch_size
+        active_rows = np.array([row for row, slot in enumerate(slots)
+                                if slot is not None], dtype=np.int64)
+        n = len(active_rows)
+        positions = self._lengths[active_rows]
         total = max(cache.seq_len, int(positions.max()) + 1)
-        valid = np.where(active, positions + 1, total)
-        kv_mask = np.where(np.arange(total)[None, :] < valid[:, None],
+        kv_mask = np.where(np.arange(total)[None, :] < (positions + 1)[:, None],
                            0.0, -np.inf).astype(np.float32)[:, None, None, :]
+        # Full batches take the rows=None fast path (zero-copy dense views,
+        # whole-table paged gathers); partial batches forward only the
+        # active rows, so draining waves stop paying for idle slots.
+        decode_rows = None if n == batch else active_rows
 
         start = time.perf_counter()
-        logits = self.model(pending[:, None], cache=cache,
-                            positions=positions[:, None], kv_mask=kv_mask)
+        logits = self.model(self._pending[active_rows][:, None], cache=cache,
+                            positions=positions[:, None], kv_mask=kv_mask,
+                            decode_rows=decode_rows)
         self.stats.decode_seconds += time.perf_counter() - start
-        self.stats.decode_tokens += int(active.sum())
+        self.stats.decode_tokens += n
         self.stats.decode_steps += 1
         self.stats.decode_slot_steps += batch
 
-        lengths[active] += 1
+        self._lengths[active_rows] += 1
         # Tokens and bytes must count the same population: paged caches
-        # report their own cached_tokens (which includes the one slot-0
-        # dummy token idle rows keep re-writing, whose storage used_bytes
-        # also counts); the rectangle has no per-row accounting, so its
-        # bytes (the whole rectangle) are divided over live tokens only.
+        # report their own cached_tokens; the rectangle has no per-row
+        # accounting, so its bytes (the whole rectangle) are divided over
+        # live tokens only.
         if isinstance(cache, PagedKVCache):
             live_tokens = cache.cached_tokens
         else:
-            live_tokens = int(lengths[active].sum())
+            live_tokens = int(self._lengths[active_rows].sum())
         if live_tokens > self.stats.kv_peak_tokens:
             self.stats.kv_peak_tokens = live_tokens
             self.stats.kv_peak_used_bytes = cache.used_bytes()
@@ -269,28 +502,33 @@ class GenerationEngine:
         self.stats.kv_peak_allocated_bytes = max(
             self.stats.kv_peak_allocated_bytes, allocated)
 
-        temperatures = np.array([slot.request.temperature if slot else 0.0
-                                 for slot in slots])
-        sampled = self._sample(logits.data[:, -1], temperatures)
-        for row, slot in enumerate(slots):
-            if slot is None:
-                continue
-            token = int(sampled[row])
+        sampled = self._sample(logits.data[:, -1],
+                               [slots[row] for row in active_rows])
+        events = []
+        for i, row in enumerate(active_rows):
+            slot = slots[row]
+            token = int(sampled[i])
             slot.generated.append(token)
-            pending[row] = token
-            self._maybe_finish(row, slots, lengths, completions, cache)
+            self._pending[row] = token
+            reason = self._finish_reason(row)
+            events.append(TokenEvent(slot.request.request_id, token, reason))
+            if reason is not None:
+                self._retire(row, reason)
+        return events
 
-    def _admit(self, cache: KVCache | PagedKVCache,
-               slots: list[_Slot | None],
-               lengths: np.ndarray, pending: np.ndarray,
-               completions: list[Completion]) -> None:
+    def _admit(self) -> list[TokenEvent]:
         """Prefill waiting prompts into free slots until either runs out."""
+        events = []
         while self._queue:
-            free = [row for row, slot in enumerate(slots) if slot is None]
+            free = [row for row, slot in enumerate(self._slots)
+                    if slot is None]
             if not free:
-                return
+                break
             rows = free[:len(self._queue)]
             requests = [self._queue.popleft() for _ in rows]
+            new_slots = [_Slot(request=r,
+                               rng=np.random.default_rng(r.params.seed))
+                         for r in requests]
             prompt_lens = np.array([len(r.prompt) for r in requests])
             width = int(prompt_lens.max())
             tokens = np.zeros((len(rows), width), dtype=np.int64)
@@ -301,67 +539,104 @@ class GenerationEngine:
             # prompt position — the only logits generation samples from.
             # cache_lens gives paged caches the true (unpadded) lengths.
             start = time.perf_counter()
-            logits = self.model(tokens, cache=cache,
+            logits = self.model(tokens, cache=self._cache,
                                 cache_rows=np.asarray(rows),
                                 cache_lens=prompt_lens,
                                 logits_positions=prompt_lens - 1)
             self.stats.prefill_seconds += time.perf_counter() - start
             self.stats.prefill_tokens += int(prompt_lens.sum())
 
-            last = logits.data[:, 0]
-            temperatures = np.array([r.temperature for r in requests])
-            first = self._sample(last, temperatures)
-            for j, (row, request) in enumerate(zip(rows, requests)):
-                slots[row] = _Slot(request=request,
-                                   generated=[int(first[j])])
-                lengths[row] = prompt_lens[j]
-                pending[row] = int(first[j])
-                self._maybe_finish(row, slots, lengths, completions, cache)
+            first = self._sample(logits.data[:, 0], new_slots)
+            for j, (row, slot) in enumerate(zip(rows, new_slots)):
+                token = int(first[j])
+                slot.generated.append(token)
+                self._slots[row] = slot
+                self._lengths[row] = prompt_lens[j]
+                self._pending[row] = token
+                self._live[slot.request.request_id] = row
+                reason = self._finish_reason(row)
+                events.append(TokenEvent(slot.request.request_id, token,
+                                         reason))
+                if reason is not None:
+                    self._retire(row, reason)
+        return events
 
-    def _maybe_finish(self, row: int, slots: list[_Slot | None],
-                      lengths: np.ndarray, completions: list[Completion],
-                      cache: KVCache | PagedKVCache) -> None:
-        """Complete + free the slot if the row hit a termination condition."""
-        slot = slots[row]
-        request = slot.request
+    def _finish_reason(self, row: int) -> str | None:
+        """Terminal state for the row's newest token, or None to continue."""
+        slot = self._slots[row]
+        params = slot.request.params
         token = slot.generated[-1]
         if self.eos_token is not None and token == self.eos_token:
-            reason = "eos"
-        elif len(slot.generated) >= request.max_new_tokens:
-            reason = "length"
-        elif lengths[row] >= self.model.config.max_seq_len:
+            return "eos"
+        if token in params.stop_tokens:
+            return "stop"
+        if len(slot.generated) >= params.max_new_tokens:
+            return "length"
+        if self._lengths[row] >= self.model.config.max_seq_len:
             # The next decode would write at position ``lengths[row]``,
             # past the RoPE table (valid positions are < max_seq_len).
-            reason = "max_seq_len"
-        else:
-            return
+            return "max_seq_len"
+        return None
+
+    def _retire(self, row: int, reason: str) -> None:
+        """Complete the row's request and release its slot and blocks."""
+        slot = self._slots[row]
+        request = slot.request
         tokens = np.concatenate([request.prompt,
                                  np.asarray(slot.generated, dtype=np.int64)])
-        completions.append(Completion(request_id=request.request_id,
-                                      tokens=tokens,
-                                      prompt_len=len(request.prompt),
-                                      finish_reason=reason))
-        slots[row] = None
+        self._finished.append(Completion(request_id=request.request_id,
+                                         tokens=tokens,
+                                         prompt_len=len(request.prompt),
+                                         finish_reason=reason))
+        self._slots[row] = None
+        self._lengths[row] = 0
+        self._live.pop(request.request_id, None)
         # Paged caches return the row's blocks to the pool immediately so
         # waiting prompts can be admitted into the freed memory; the
-        # rectangular cache reuses the row in place (no-op).
-        cache.free_rows(np.array([row]))
+        # rectangular cache reuses the row in place (no-op).  Trimming the
+        # read width to the surviving rows keeps a persistent session from
+        # forever gathering (and masking) the longest-ever row's width.
+        self._cache.free_rows(np.array([row]))
+        self._cache.trim(int(self._lengths.max()))
 
     # ------------------------------------------------------------------ #
     # sampling
     # ------------------------------------------------------------------ #
-    def _sample(self, logits: np.ndarray, temperatures: np.ndarray
-                ) -> np.ndarray:
-        """Vectorized greedy/temperature sampling over ``(batch, vocab)``."""
+    def _sample(self, logits: np.ndarray, slots: list[_Slot]) -> np.ndarray:
+        """Sample one token per row of ``(batch, vocab)`` logits.
+
+        Temperature scaling and top-k/top-p masking are vectorized across
+        rows; each non-greedy row then inverts its own masked CDF at a
+        draw from its *private* generator, so a request's sample stream
+        depends only on its own params and logits.
+        """
         greedy = logits.argmax(axis=-1)
-        hot = temperatures > 0.0
-        if not hot.any():
+        params = [slot.request.params for slot in slots]
+        hot_idx = np.array([i for i, p in enumerate(params) if not p.greedy],
+                           dtype=np.int64)
+        if len(hot_idx) == 0:
             return greedy
-        scaled = logits / np.where(hot, temperatures, 1.0)[:, None]
+        # Only the hot rows pay the vocab-wide sort/softmax; greedy rows
+        # already have their argmax.
+        hot_params = [params[i] for i in hot_idx]
+        vocab = logits.shape[-1]
+        temperatures = np.array([p.temperature for p in hot_params])
+        top_k = np.array([p.top_k or vocab for p in hot_params])
+        top_p = np.array([p.top_p if p.top_p is not None else 1.0
+                          for p in hot_params])
+        scaled = apply_top_k_top_p(logits[hot_idx] / temperatures[:, None],
+                                   top_k, top_p)
         scaled = scaled - scaled.max(axis=-1, keepdims=True)
         probs = np.exp(scaled)
         probs /= probs.sum(axis=-1, keepdims=True)
-        draws = self.rng.random(len(logits))
-        sampled = (probs.cumsum(axis=-1) < draws[:, None]).sum(axis=-1)
-        sampled = np.minimum(sampled, logits.shape[-1] - 1)
-        return np.where(hot, sampled, greedy)
+        draws = np.array([slots[i].rng.random() for i in hot_idx])
+        # Smallest index whose cumulative mass exceeds the draw: masked
+        # tokens carry exactly zero mass, so ties (cumsum flat) can never
+        # select them — including a draw of exactly 0.0 with token 0
+        # masked.  Float rounding can still leave the total mass a hair
+        # under a draw near 1.0, so clamp onto the last *kept* token.
+        sampled = (probs.cumsum(axis=-1) <= draws[:, None]).sum(axis=-1)
+        last_kept = vocab - 1 - np.argmax(probs[:, ::-1] > 0, axis=-1)
+        out = greedy.copy()
+        out[hot_idx] = np.minimum(sampled, last_kept)
+        return out
