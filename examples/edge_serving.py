@@ -10,6 +10,27 @@ part-way, and the FineQ-quantized model re-serves the same prompts so
 the greedy continuations can be compared:
 
     python examples/edge_serving.py
+
+Serving at scale
+----------------
+Every request here carries the same "system prompt" — the norm in real
+traffic (assistant preambles, few-shot templates, multi-turn history).
+The session therefore runs with ``prefix_sharing=True``: the first
+prefill captures the system prompt's cache blocks in a radix
+:class:`repro.serve.PrefixStore`, and every later request adopts them by
+reference — quantized once, dequantized by every reader on the FineQ
+backend — so prefill forwards only each request's novel suffix and the
+shared blocks are resident once however many rows read them
+(copy-on-write isolates divergence inside a partially-filled block).
+Admission is delegated to the ``"prefix-affinity"`` scheduler, which
+batches waiting requests that share cached prefixes into the same decode
+wave; swap in ``scheduler="priority"`` (+ ``SamplingParams(priority=…)``
+and a ``max_pool_blocks`` budget) and the engine instead preempts
+lowest-priority rows under memory pressure, re-queuing them to restore
+from the surviving shared prefix.  The same engine can record a
+per-step trace (``record_trace=True``) that
+``repro.hw.workloads.project_decode_trace`` replays through the paper's
+six-stage accelerator model — see ``python -m repro.serve --prefix``.
 """
 
 import numpy as np
@@ -20,6 +41,12 @@ from repro.models import load_model
 from repro.quant import get_quantizer
 from repro.serve import GenerationEngine, SamplingParams
 
+#: The shared system prompt every request begins with (> one 16-token
+#: cache block, so prefix sharing captures full blocks + a tail).
+SYSTEM_PROMPT = ["the", "helpful", "assistant", "answers", "every",
+                 "question", "clearly", "and", "briefly", "using",
+                 "simple", "words", "that", "people", "can", "easily",
+                 "understand", "without", "effort"]
 PROMPTS = [
     ["the", "ancient", "castle"],
     ["a", "new", "study"],
@@ -33,13 +60,17 @@ MAX_NEW_TOKENS = 12
 
 
 def stream_session(model, prompts, late_prompt):
-    """Serve ``prompts`` as a streaming client; returns (completions, stats).
+    """Serve ``prompts`` as a streaming client; returns (completions, engine).
 
     Even requests decode greedily, odd ones sample through top-k/top-p
     with a fixed per-request seed.  After a few events a late prompt is
     submitted into the live session and the second request is cancelled.
+    All prompts share the system-prompt prefix, served from the prefix
+    store after the first prefill captures it.
     """
-    engine = GenerationEngine(model, max_batch_size=4)
+    engine = GenerationEngine(model, max_batch_size=4,
+                              scheduler="prefix-affinity",
+                              prefix_sharing=True)
     ids = []
     for i, prompt in enumerate(prompts):
         params = (SamplingParams(max_new_tokens=MAX_NEW_TOKENS)
@@ -59,9 +90,10 @@ def stream_session(model, prompts, late_prompt):
         if events == 10 and victim is not None:
             engine.cancel(victim)
             print(f"   ... {events} events in: cancelled request {victim} "
-                  "(row and cache blocks freed)")
+                  "(row and exclusive cache blocks freed; the shared "
+                  "prefix stays)")
             victim = None
-    return {c.request_id: c for c in engine.take_completions()}, engine.stats
+    return {c.request_id: c for c in engine.take_completions()}, engine
 
 
 def main() -> None:
@@ -81,25 +113,37 @@ def main() -> None:
     print(format_table(["Weights", "Total MiB", "W %", "KV %", "Other %"],
                        rows))
 
-    print(f"\n2. streaming {len(PROMPTS)} + 1 mid-flight prompts through "
-          "the FP16 session ...")
-    prompts = [np.asarray(tokenizer.encode(words)) for words in PROMPTS]
-    late = np.asarray(tokenizer.encode(LATE_PROMPT))
-    fp16_done, fp16_stats = stream_session(model, prompts, late)
+    print(f"\n2. streaming {len(PROMPTS)} + 1 mid-flight prompts (shared "
+          f"{len(SYSTEM_PROMPT)}-token system prompt) through the FP16 "
+          "prefix-sharing session ...")
+    prompts = [np.asarray(tokenizer.encode(SYSTEM_PROMPT + words))
+               for words in PROMPTS]
+    late = np.asarray(tokenizer.encode(SYSTEM_PROMPT + LATE_PROMPT))
+    fp16_done, fp16_engine = stream_session(model, prompts, late)
+    fp16_stats = fp16_engine.stats
 
-    print("\n   finished requests (decoding mode, finish reason, text):")
+    print("\n   finished requests (decoding mode, finish reason, text "
+          "after the system prompt):")
+    skip = len(SYSTEM_PROMPT)
     for rid in sorted(fp16_done):
         completion = fp16_done[rid]
         mode = "greedy" if rid % 2 == 0 or rid >= len(PROMPTS) else "top-k/p"
-        text = " ".join(tokenizer.decode(completion.tokens))
+        text = " ".join(tokenizer.decode(completion.tokens[skip:]))
         print(f"   #{rid} [{mode:7}] [{completion.finish_reason:9}] {text}")
     print(f"\n   decode throughput : {fp16_stats.decode_tokens_per_s:7,.0f} "
           f"tok/s at occupancy {fp16_stats.occupancy:.0%}")
+    print(f"   prefix sharing    : {fp16_stats.shared_prompt_tokens} of "
+          f"{fp16_stats.prompt_tokens} prompt tokens served from cached "
+          f"prefixes ({fp16_stats.prefix_hit_tokens_ratio:.0%}); prefill "
+          f"forwarded only {fp16_stats.prefill_tokens}")
 
-    print("\n3. FineQ-quantized engine on the same prompts (greedy) ...")
+    print("\n3. FineQ-quantized engine on the same prompts (greedy, "
+          "prefix-shared) ...")
     quantized = clone_model(model)
     report = get_quantizer("fineq").quantize_model(quantized)
-    q_engine = GenerationEngine(quantized, max_batch_size=4)
+    q_engine = GenerationEngine(quantized, max_batch_size=4,
+                                scheduler="prefix-affinity",
+                                prefix_sharing=True)
     all_prompts = prompts + [late]
     fineq_out = q_engine.generate_batch(all_prompts, MAX_NEW_TOKENS)
     identical = 0

@@ -68,6 +68,7 @@ class MultiHeadAttention(Module):
                 kv_mask: np.ndarray | None = None,
                 cache_rows: np.ndarray | None = None,
                 cache_lens: np.ndarray | None = None,
+                cache_starts: np.ndarray | None = None,
                 decode_rows: np.ndarray | None = None) -> Tensor:
         """Attend over ``x`` plus any cached context.
 
@@ -78,12 +79,19 @@ class MultiHeadAttention(Module):
         prefill into specific rows of a larger cache slot pool; those rows
         are fresh, so the current K/V are the entire context, and
         ``cache_lens`` carries each row's true (unpadded) length so paged
-        caches allocate and account only for real tokens.  ``decode_rows``
-        routes a single-token decode into specific cache rows: ``x`` holds
-        only the engine's *active* slots, so idle slots are neither
-        forwarded nor gathered.  ``cache`` may be rectangular or paged
-        (possibly quantized): all variants share the same write methods
-        and return full-context K/V arrays.
+        caches allocate and account only for real tokens.  ``cache_starts``
+        (with ``cache_rows``) is the prefix-sharing *suffix* prefill: row
+        ``j`` already holds ``cache_starts[j]`` adopted context tokens, the
+        new K/V are written after them (``cache.prefill_rows``), and the
+        gathered shared-plus-suffix context is attended over.  Rows then
+        start at different depths, so the uniform last-``seq``-positions
+        causal mask does not apply — the caller must send a full
+        ``(batch, 1, seq, total)`` ``kv_mask`` encoding per-row causality.
+        ``decode_rows`` routes a single-token decode into specific cache
+        rows: ``x`` holds only the engine's *active* slots, so idle slots
+        are neither forwarded nor gathered.  ``cache`` may be rectangular
+        or paged (possibly quantized): all variants share the same write
+        methods and return full-context K/V arrays.
         """
         batch, seq, _ = x.shape
         if cache_rows is not None or cache is None:
@@ -98,7 +106,12 @@ class MultiHeadAttention(Module):
         k = self.rope(k, position_offset=offset, positions=positions)
 
         if cache is not None:
-            if cache_rows is not None:
+            if cache_rows is not None and cache_starts is not None:
+                k_data, v_data = cache.prefill_rows(layer_index, k.data,
+                                                    v.data, cache_rows,
+                                                    cache_starts, cache_lens)
+                k, v = Tensor(k_data), Tensor(v_data)
+            elif cache_rows is not None:
                 cache.write_rows(layer_index, k.data, v.data, cache_rows,
                                  row_lengths=cache_lens)
             elif positions is not None and seq == 1:
@@ -111,9 +124,11 @@ class MultiHeadAttention(Module):
                 k, v = Tensor(k_data), Tensor(v_data)
 
         scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
-        if seq > 1:
+        if seq > 1 and cache_starts is None:
             # Single-token decode skips mask construction entirely (the new
             # token may attend to everything); prefill reuses cached masks.
+            # Suffix prefill (cache_starts) gets per-row causality from the
+            # caller's full kv_mask instead of the shared triangular mask.
             scores = scores + Tensor(causal_mask(seq, k.shape[2]))
         if kv_mask is not None:
             scores = scores + Tensor(kv_mask)

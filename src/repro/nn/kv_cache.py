@@ -143,6 +143,34 @@ class KVCache:
         self._values[layer][rows, :, :seq] = v
         self._lengths[layer] = max(self._lengths[layer], seq)
 
+    def prefill_rows(self, layer: int, k: np.ndarray, v: np.ndarray,
+                     rows: np.ndarray, starts: np.ndarray,
+                     row_lengths: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Write per-row suffix spans and return the rows' full context.
+
+        Interface parity with the paged caches' prefix-sharing prefill:
+        row ``j``'s ``row_lengths[j]`` tokens land at absolute slots
+        ``starts[j] .. starts[j] + row_lengths[j] - 1``.  The rectangle
+        cannot alias blocks, so callers use this only for suffix writes
+        into context the same row already holds.
+        """
+        if self.batch is None:
+            raise ValueError("prefill_rows needs a cache with a pinned batch")
+        rows = np.asarray(rows, dtype=np.int64)
+        starts = np.asarray(starts, dtype=np.int64)
+        lens = np.asarray(row_lengths, dtype=np.int64)
+        totals = starts + lens
+        self._ensure(layer, k, int(totals.max()))
+        for j, row in enumerate(rows):
+            lo, hi = int(starts[j]), int(totals[j])
+            self._keys[layer][row, :, lo:hi] = k[j, :, :hi - lo]
+            self._values[layer][row, :, lo:hi] = v[j, :, :hi - lo]
+        self._lengths[layer] = max(self._lengths[layer], int(totals.max()))
+        length = self._lengths[layer]
+        return (self._keys[layer][rows, :, :length],
+                self._values[layer][rows, :, :length])
+
     def free_rows(self, rows: np.ndarray) -> None:
         """Interface parity with the paged caches: rectangular rows are
         reused in place by the next ``write_rows``, nothing to release."""

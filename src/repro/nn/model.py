@@ -67,14 +67,18 @@ class TransformerLM(Module):
                 kv_mask: np.ndarray | None = None,
                 cache_rows: np.ndarray | None = None,
                 cache_lens: np.ndarray | None = None,
+                cache_starts: np.ndarray | None = None,
                 decode_rows: np.ndarray | None = None,
                 logits_positions: np.ndarray | None = None) -> Tensor:
         """Return logits ``(batch, seq, vocab)`` for integer ``tokens``.
 
         ``positions``/``kv_mask``/``cache_rows``/``cache_lens``/
-        ``decode_rows`` thread the serving engine's ragged-batch decode
-        (``decode_rows``: active-slot sub-batch decode into specific cache
-        rows) and slot-targeted prefill through to attention (see
+        ``cache_starts``/``decode_rows`` thread the serving engine's
+        ragged-batch decode (``decode_rows``: active-slot sub-batch decode
+        into specific cache rows), slot-targeted prefill, and
+        prefix-sharing suffix prefill (``cache_starts``: per-row counts of
+        adopted shared-context tokens the new K/V are appended after)
+        through to attention (see
         :class:`repro.nn.attention.MultiHeadAttention`).
 
         ``logits_positions`` (``(batch,)`` per-row indices into ``seq``)
@@ -92,7 +96,8 @@ class TransformerLM(Module):
         for index, block in enumerate(self.blocks):
             x = block(x, cache=cache, layer_index=index, positions=positions,
                       kv_mask=kv_mask, cache_rows=cache_rows,
-                      cache_lens=cache_lens, decode_rows=decode_rows)
+                      cache_lens=cache_lens, cache_starts=cache_starts,
+                      decode_rows=decode_rows)
         if logits_positions is not None:
             rows = np.arange(x.shape[0])
             last = np.asarray(logits_positions, dtype=np.int64)

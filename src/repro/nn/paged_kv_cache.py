@@ -34,6 +34,17 @@ per-layer write/read state may lag mid-forward.  Freed and padded table
 slots may be gathered before they are reused; they only ever contain
 finite stale values (pools are zero-initialised), which the engine's
 additive key mask turns into exact-zero attention contributions.
+
+Blocks are *reference counted* so the serving engine's prefix store can
+alias one physical block into many rows' tables (vLLM-style prefix
+sharing): :meth:`PagedKVCache.ref_blocks` / :meth:`release_blocks` move
+the count, :meth:`adopt_prefix` points a fresh row at an already-written
+block chain, :meth:`share_block` hands out a reference to a row's block
+(quantized caches freeze the FP32 write buffer into a pool block first),
+and :meth:`copy_block` is the copy-on-write primitive used when a new
+request diverges *inside* a partially-filled shared block.  A block
+returns to the free list only when its last reference drops, so retiring
+or cancelling a reader frees exactly the blocks it owned exclusively.
 """
 
 from __future__ import annotations
@@ -101,11 +112,17 @@ class PagedKVCache:
         rectangular cache's doubling, but fine-grained enough that the
         physical footprint tracks live-token demand instead of jumping
         straight to the ``batch x max_len`` rectangle.
+    max_blocks:
+        Soft pool budget.  Writes never fail — the pool still grows when
+        forced — but :meth:`available_blocks` reports the remaining
+        headroom so the engine's scheduler can throttle admission or
+        preempt low-priority rows instead of overshooting the budget.
     """
 
     def __init__(self, num_layers: int, batch: int,
                  block_size: int = DEFAULT_BLOCK_SIZE,
-                 initial_blocks: int | None = None):
+                 initial_blocks: int | None = None,
+                 max_blocks: int | None = None):
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
         if batch < 1:
@@ -114,10 +131,12 @@ class PagedKVCache:
         self.batch = batch
         self.block_size = block_size
         self.initial_blocks = initial_blocks or 2 * batch
+        self.max_blocks = max_blocks
         self._heads: int | None = None
         self._head_dim = 0
         self._total_blocks = 0
         self._free: list[int] = []
+        self._refcount = np.zeros(0, dtype=np.int64)
         self._tables = np.zeros((batch, 0), dtype=np.int64)
         self._blocks_per_row = np.zeros(batch, dtype=np.int64)
         self._row_len = np.zeros(batch, dtype=np.int64)
@@ -158,6 +177,9 @@ class PagedKVCache:
         for layer in range(self.num_layers):
             self._grow_layer(layer, new_total)
         self._free.extend(range(self._total_blocks, new_total))
+        counts = np.zeros(new_total, dtype=np.int64)
+        counts[:len(self._refcount)] = self._refcount
+        self._refcount = counts
         self._total_blocks = new_total
 
     def _grow_layer(self, layer: int, new_total: int) -> None:
@@ -175,7 +197,9 @@ class PagedKVCache:
         if not self._free:
             growth = max(self.batch, self._total_blocks // 2, 1)
             self._grow_pool(self._total_blocks + growth)
-        return self._free.pop()
+        block = self._free.pop()
+        self._refcount[block] = 1
+        return block
 
     def _ensure_row_blocks(self, rows: np.ndarray, needed: np.ndarray) -> None:
         """Grow block tables so each of ``rows`` owns ``needed`` blocks."""
@@ -196,16 +220,126 @@ class PagedKVCache:
             self._blocks_per_row[row] = max(self._blocks_per_row[row], need)
 
     def free_rows(self, rows: np.ndarray) -> None:
-        """Return the blocks of retired sequences to the shared pool."""
+        """Drop retired sequences' block references; free unshared blocks.
+
+        A block only returns to the pool when its last reference drops,
+        so retiring a reader of a shared prefix frees exactly the blocks
+        it owned exclusively — the shared chain stays resident for the
+        prefix store and its other readers.
+        """
         for row in np.asarray(rows, dtype=np.int64).reshape(-1):
             count = int(self._blocks_per_row[row])
-            self._free.extend(int(b) for b in self._tables[row, :count])
+            self.release_blocks(self._tables[row, :count])
             self._blocks_per_row[row] = 0
             self._row_len[row] = 0
 
     def free_blocks(self) -> int:
         """Blocks on the shared free list (allocated but unowned)."""
         return len(self._free)
+
+    def available_blocks(self) -> int | None:
+        """Blocks grantable within the soft budget (None = unbounded)."""
+        if self.max_blocks is None:
+            return None
+        return len(self._free) + max(0, self.max_blocks - self._total_blocks)
+
+    # ------------------------------------------------------------------ #
+    # block sharing (prefix reuse / copy-on-write)
+    # ------------------------------------------------------------------ #
+    def ref_blocks(self, block_ids) -> None:
+        """Add one reference to each of ``block_ids``."""
+        for block in np.asarray(block_ids, dtype=np.int64).reshape(-1):
+            if self._refcount[block] < 1:
+                raise ValueError(f"block {block} is free; cannot reference")
+            self._refcount[block] += 1
+
+    def release_blocks(self, block_ids) -> None:
+        """Drop one reference per block; free blocks that hit zero."""
+        for block in np.asarray(block_ids, dtype=np.int64).reshape(-1):
+            block = int(block)
+            if self._refcount[block] < 1:
+                raise ValueError(f"block {block} released more than held")
+            self._refcount[block] -= 1
+            if self._refcount[block] == 0:
+                self._free.append(block)
+
+    def block_refcount(self, block_id: int) -> int:
+        """Current reference count of one block (0 = on the free list)."""
+        return int(self._refcount[block_id])
+
+    def copy_block(self, src: int) -> int:
+        """Copy-on-write primitive: duplicate ``src`` across every layer.
+
+        Returns a fresh block (one reference, owned by the caller) whose
+        K/V payload equals ``src``'s at copy time.  Used when a request
+        diverges inside a partially-filled shared block: the writer gets
+        a private copy, other readers keep the original.
+        """
+        dst = self._take_block()
+        for layer in range(self.num_layers):
+            for pool in (self._pool_k, self._pool_v):
+                pool[layer][dst] = pool[layer][src]
+        return dst
+
+    def share_block(self, row: int, depth: int, fill: int) -> int:
+        """Reference block ``depth`` of ``row`` for sharing; returns its id.
+
+        ``fill`` is how many leading tokens of the block the caller will
+        advertise (``block_size`` for a full block).  The FP32 cache can
+        hand out the live block directly — the first ``fill`` slots are
+        prompt content and are never rewritten; later slots may keep
+        mutating under the owning row's decode, so consumers of a partial
+        block must copy-on-write before trusting slots ``>= fill``.
+        The caller owns one reference on the returned id.
+        """
+        if depth >= self._blocks_per_row[row]:
+            raise ValueError(f"row {row} owns {self._blocks_per_row[row]} "
+                             f"blocks; cannot share depth {depth}")
+        block = int(self._tables[row, depth])
+        self.ref_blocks([block])
+        return block
+
+    def adopt_prefix(self, row: int, full_ids, tail_id: int | None = None,
+                     tail_keep: int = 0) -> int:
+        """Point a fresh row at an already-written shared block chain.
+
+        ``full_ids`` are full shared blocks adopted *by reference*;
+        ``tail_id`` (optional) is a partially-filled shared block whose
+        first ``tail_keep`` tokens the row reuses — adopted copy-on-write
+        through the format's :meth:`_adopt_tail`, since the row will keep
+        writing into that block.  Returns the row's resulting token
+        length.
+        """
+        if self._blocks_per_row[row] != 0:
+            raise ValueError(f"row {row} still owns blocks; free it first")
+        if tail_id is None:
+            tail_keep = 0
+        elif not 0 < tail_keep < self.block_size:
+            raise ValueError("tail_keep must be in (0, block_size) "
+                             "when a tail block is adopted")
+        full_ids = [int(b) for b in np.asarray(full_ids,
+                                               dtype=np.int64).reshape(-1)]
+        self.ref_blocks(full_ids)
+        ids = list(full_ids)
+        if tail_id is not None:
+            ids += self._adopt_tail(row, tail_id, tail_keep)
+        width = self._tables.shape[1]
+        if len(ids) > width:
+            wider = np.zeros((self.batch, max(len(ids), 2 * width)),
+                             dtype=np.int64)
+            wider[:, :width] = self._tables
+            self._tables = wider
+        self._tables[row, :len(ids)] = ids
+        self._blocks_per_row[row] = len(ids)
+        length = len(full_ids) * self.block_size + tail_keep
+        self._row_len[row] = length
+        return length
+
+    def _adopt_tail(self, row: int, tail_id: int, tail_keep: int
+                    ) -> list[int]:
+        """COW the shared tail into private writable storage; returns any
+        blocks to append to the row's chain.  FP32: a block copy."""
+        return [self.copy_block(tail_id)]
 
     def trim(self, max_len: int) -> None:
         """Clamp the logical context width to ``max_len`` time steps.
@@ -300,6 +434,49 @@ class PagedKVCache:
         self._lengths[layer] = max(self._lengths[layer], int(lens.max()))
         self._row_len[rows] = np.maximum(self._row_len[rows], lens)
 
+    def prefill_rows(self, layer: int, k: np.ndarray, v: np.ndarray,
+                     rows: np.ndarray, starts: np.ndarray,
+                     row_lengths: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Write per-row suffix spans and return the gathered context.
+
+        The prefix-sharing prefill: row ``j`` already holds ``starts[j]``
+        context tokens (adopted shared blocks), and ``k``/``v`` carry its
+        next ``row_lengths[j]`` tokens (right-padded to a common width).
+        Writes land at absolute positions ``starts[j] ..
+        starts[j] + row_lengths[j] - 1`` — continuing a partially-filled
+        block in place when the span starts mid-block — and the returned
+        arrays gather each row's full context (shared prefix + new
+        suffix), which is what suffix attention needs to read.
+        """
+        if self._heads is None:
+            self._init_storage(k)
+        rows = np.asarray(rows, dtype=np.int64)
+        starts = np.asarray(starts, dtype=np.int64)
+        lens = np.asarray(row_lengths, dtype=np.int64)
+        self._write_span(layer, k, v, rows, starts, lens)
+        totals = starts + lens
+        self._lengths[layer] = max(self._lengths[layer], int(totals.max()))
+        self._row_len[rows] = np.maximum(self._row_len[rows], totals)
+        return self._context(layer, rows=rows)
+
+    def _write_span(self, layer: int, k: np.ndarray, v: np.ndarray,
+                    rows: np.ndarray, starts: np.ndarray,
+                    lens: np.ndarray) -> None:
+        bs = self.block_size
+        self._ensure_row_blocks(rows, _blocks_needed(starts + lens, bs))
+        for j, row in enumerate(rows):
+            pos, end = int(starts[j]), int(starts[j] + lens[j])
+            while pos < end:
+                block, lo = pos // bs, pos % bs
+                take = min(bs - lo, end - pos)
+                block_id = self._tables[row, block]
+                self._pool_k[layer][block_id, :, lo:lo + take] = \
+                    k[j, :, pos - int(starts[j]):pos - int(starts[j]) + take]
+                self._pool_v[layer][block_id, :, lo:lo + take] = \
+                    v[j, :, pos - int(starts[j]):pos - int(starts[j]) + take]
+                pos += take
+
     def _as_blocks(self, data: np.ndarray, nblk: int) -> np.ndarray:
         """``(n, heads, seq, hd)`` -> ``(n, nblk, heads, block, hd)``."""
         n, heads, seq, head_dim = data.shape
@@ -362,11 +539,26 @@ class PagedKVCache:
         return int(self._blocks_per_row.sum())
 
     def used_bytes(self) -> int:
-        """Bytes storing the currently cached tokens (FP32 here)."""
+        """Bytes storing the currently cached tokens (FP32 here).
+
+        Logical accounting: with prefix sharing a block read by many rows
+        is counted once per reader (this is what decode gathers stream);
+        :meth:`physical_used_bytes` counts each resident block once.
+        """
         if self._heads is None:
             return 0
         per_token = 2 * self._heads * self._head_dim * 4
         return self.num_layers * per_token * self.cached_tokens
+
+    def physical_used_bytes(self) -> int:
+        """Bytes of blocks holding at least one reference (each counted
+        once, however many rows alias it) — the resident cache footprint
+        prefix sharing actually shrinks."""
+        if self._heads is None:
+            return 0
+        block_bytes = self._heads * self.block_size * self._head_dim * 4
+        held = self._total_blocks - len(self._free)
+        return self.num_layers * 2 * held * block_bytes
 
     def allocated_bytes(self) -> int:
         """Physical pool footprint, free blocks included."""
@@ -435,6 +627,102 @@ class QuantizedPagedKVCache(PagedKVCache):
             payload_pool[ids] = payload.reshape(count, self._channels, -1)
             scale_pool[ids] = scales.reshape(count, self._channels)
 
+    # ------------------------------------------------------------------ #
+    # block sharing (prefix reuse / copy-on-write, quantized format)
+    # ------------------------------------------------------------------ #
+    def copy_block(self, src: int) -> int:
+        """COW in the 2.33-bit format: duplicate payload + scales."""
+        dst = self._take_block()
+        for layer in range(self.num_layers):
+            for pool in (self._payload_k, self._payload_v,
+                         self._scale_k, self._scale_v):
+                pool[layer][dst] = pool[layer][src]
+        return dst
+
+    def share_block(self, row: int, depth: int, fill: int) -> int:
+        """Reference (or freeze) block ``depth`` of ``row`` for sharing.
+
+        Blocks the row has already quantized are immutable, so they are
+        shared by reference like the FP32 cache's.  The row's *current*
+        block lives only in its FP32 write buffer; sharing it quantizes a
+        snapshot of its first ``fill`` tokens (zero-padded so garbage
+        beyond ``fill`` cannot inflate the channel scales) into a fresh
+        pool block owned by the caller.  The shared prefix is therefore
+        always served in the paper's 2.33-bit format — quantized once,
+        dequantized by every reader.
+        """
+        owned = int(self._blocks_per_row[row])
+        if depth < owned:
+            return super().share_block(row, depth, self.block_size)
+        if depth != owned:
+            raise ValueError(f"row {row} has no content at block {depth}")
+        buffered = int(self._row_len[row]) - owned * self.block_size
+        if not 0 < fill <= buffered:
+            raise ValueError(f"row {row} buffers {buffered} tokens; "
+                             f"cannot freeze {fill}")
+        block = self._take_block()
+        keep = (np.arange(self.block_size) < fill)[None, :, None]
+        for layer in range(self.num_layers):
+            self._quantize_into(
+                layer, np.array([block]),
+                (self._buf_k[layer][row] * keep)[None],
+                (self._buf_v[layer][row] * keep)[None])
+        return block
+
+    def _adopt_tail(self, row: int, tail_id: int, tail_keep: int
+                    ) -> list[int]:
+        """COW in the quantized format: the shared partial block is
+        *dequantized into the row's FP32 write buffer* — the quantized
+        analogue of a block copy — so the row can keep appending suffix
+        tokens to the partially-filled block without touching the shared
+        original (which stays quantized-once for its other readers).  No
+        pool block joins the row's chain; the buffer is the current
+        block."""
+        bs = self.block_size
+        for layer in range(self.num_layers):
+            for payload_pool, scale_pool, buf in (
+                    (self._payload_k, self._scale_k, self._buf_k),
+                    (self._payload_v, self._scale_v, self._buf_v)):
+                channels = dequantize_kv_channels(
+                    payload_pool[layer][tail_id],
+                    scale_pool[layer][tail_id], bs)
+                buf[layer][row] = channels.reshape(
+                    self._heads, self._head_dim, bs).transpose(0, 2, 1)
+        return []
+
+    def _write_span(self, layer: int, k: np.ndarray, v: np.ndarray,
+                    rows: np.ndarray, starts: np.ndarray,
+                    lens: np.ndarray) -> None:
+        """Span writes under the decode discipline: every block — the
+        final, possibly partial one included — passes through the FP32
+        write buffer, and only blocks *strictly before* the final one are
+        quantized (when the span moves past them, exactly like a decode
+        crossing).  The newest ``<= block_size`` tokens therefore read
+        back bit-exact after a prefill, same as after decode."""
+        bs = self.block_size
+        flush_ids, flush_k, flush_v = [], [], []
+        for j, row in enumerate(rows):
+            s, end = int(starts[j]), int(starts[j] + lens[j])
+            last_start = ((end - 1) // bs) * bs  # block left in the buffer
+            pos = s
+            while pos < end:
+                block, lo = pos // bs, pos % bs
+                take = min(bs - lo, end - pos)
+                self._buf_k[layer][row, :, lo:lo + take] = \
+                    k[j, :, pos - s:pos - s + take]
+                self._buf_v[layer][row, :, lo:lo + take] = \
+                    v[j, :, pos - s:pos - s + take]
+                pos += take
+                if pos <= last_start:  # completed a non-final block
+                    self._ensure_row_blocks(np.array([row]),
+                                            np.array([block + 1]))
+                    flush_ids.append(int(self._tables[row, block]))
+                    flush_k.append(self._buf_k[layer][row].copy())
+                    flush_v.append(self._buf_v[layer][row].copy())
+        if flush_ids:
+            self._quantize_into(layer, np.asarray(flush_ids),
+                                np.stack(flush_k), np.stack(flush_v))
+
     def write_token(self, layer: int, k: np.ndarray, v: np.ndarray,
                     positions: np.ndarray,
                     rows: np.ndarray | None = None
@@ -446,7 +734,12 @@ class QuantizedPagedKVCache(PagedKVCache):
         bs = self.block_size
         slots = positions % bs
         # A row starting block b quantizes its buffered block b-1 first.
-        flush = (slots == 0) & (positions > 0)
+        # Rows whose whole context is adopted *quantized* blocks (prefix
+        # sharing with a block-aligned match) have nothing buffered: their
+        # previous block is shared and already quantized, and flushing
+        # would overwrite it with stale buffer contents.
+        buffered = self._row_len[row_idx] - self._blocks_per_row[row_idx] * bs
+        flush = (slots == 0) & (positions > 0) & (buffered > 0)
         if flush.any():
             flush_rows = row_idx[flush]
             block_index = positions[flush] // bs - 1
@@ -526,7 +819,12 @@ class QuantizedPagedKVCache(PagedKVCache):
         flat_owned = owned.reshape(-1)
         selected = self._block_ids(nblk, rows).reshape(-1)[flat_owned]
         row_lens = self._row_len[row_idx]
-        live = np.nonzero(row_lens > 0)[0]  # indices into the sub-batch
+        # Overlay only rows that actually hold buffered tokens: a row whose
+        # context is entirely adopted quantized blocks (block-aligned
+        # prefix match) has an empty buffer, and overlaying it would mask
+        # its newest shared block with stale data.
+        buffered = row_lens - self._blocks_per_row[row_idx] * bs
+        live = np.nonzero(buffered > 0)[0]  # indices into the sub-batch
         current = (row_lens[live] - 1) // bs
         out = []
         for payload_pool, scale_pool, buf in (
@@ -562,6 +860,19 @@ class QuantizedPagedKVCache(PagedKVCache):
                         - self._blocks_per_row * self.block_size).sum())
         per_buffered_token = self._heads * self._head_dim * 4
         return self.num_layers * 2 * (self.blocks_in_use() * qblock
+                                      + buffered * per_buffered_token)
+
+    def physical_used_bytes(self) -> int:
+        """Resident bytes: each referenced quantized block once (however
+        many rows alias it) plus the FP32 tokens still in write buffers."""
+        if self._heads is None:
+            return 0
+        qblock = self._channels * (self._payload_bytes + 2)
+        held = self._total_blocks - len(self._free)
+        buffered = int((self._row_len
+                        - self._blocks_per_row * self.block_size).sum())
+        per_buffered_token = self._heads * self._head_dim * 4
+        return self.num_layers * 2 * (held * qblock
                                       + buffered * per_buffered_token)
 
     def allocated_bytes(self) -> int:

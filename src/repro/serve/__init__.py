@@ -10,22 +10,32 @@ utilities that keep its speedups tracked numbers.
 
 from repro.serve.engine import (FINISH_REASONS, KV_CACHE_MODES, Completion,
                                 EngineStats, GenerationEngine, Request,
-                                SamplingParams, TokenEvent,
+                                SamplingParams, StepTrace, TokenEvent,
                                 apply_top_k_top_p)
-from repro.serve.bench import (MemoryPoint, MemoryReport, StreamLatencyPoint,
+from repro.serve.prefix import PrefixMatch, PrefixStore, PrefixStoreStats
+from repro.serve.scheduler import (SCHEDULERS, FIFOScheduler,
+                                   PrefixAffinityScheduler,
+                                   PriorityScheduler, RunningInfo, Scheduler,
+                                   SchedulerView, get_scheduler)
+from repro.serve.bench import (MemoryPoint, MemoryReport, PrefixPoint,
+                               PrefixReport, StreamLatencyPoint,
                                StreamLatencyReport, ThroughputPoint,
                                ThroughputReport, bench_prompts,
                                engine_throughput, latency_sweep, memory_point,
-                               memory_sweep, sequential_throughput,
-                               serve_session, stream_latency,
-                               throughput_sweep)
+                               memory_sweep, prefix_prompts, prefix_sweep,
+                               sequential_throughput, serve_session,
+                               stream_latency, throughput_sweep)
 
 __all__ = [
     "Completion", "EngineStats", "FINISH_REASONS", "GenerationEngine",
-    "KV_CACHE_MODES", "Request", "SamplingParams", "TokenEvent",
-    "apply_top_k_top_p", "MemoryPoint", "MemoryReport", "StreamLatencyPoint",
-    "StreamLatencyReport", "ThroughputPoint", "ThroughputReport",
-    "bench_prompts", "engine_throughput", "latency_sweep", "memory_point",
-    "memory_sweep", "sequential_throughput", "serve_session",
-    "stream_latency", "throughput_sweep",
+    "KV_CACHE_MODES", "Request", "SamplingParams", "StepTrace", "TokenEvent",
+    "apply_top_k_top_p", "PrefixMatch", "PrefixStore", "PrefixStoreStats",
+    "SCHEDULERS", "FIFOScheduler", "PrefixAffinityScheduler",
+    "PriorityScheduler", "RunningInfo", "Scheduler", "SchedulerView",
+    "get_scheduler", "MemoryPoint", "MemoryReport", "PrefixPoint",
+    "PrefixReport", "StreamLatencyPoint", "StreamLatencyReport",
+    "ThroughputPoint", "ThroughputReport", "bench_prompts",
+    "engine_throughput", "latency_sweep", "memory_point", "memory_sweep",
+    "prefix_prompts", "prefix_sweep", "sequential_throughput",
+    "serve_session", "stream_latency", "throughput_sweep",
 ]

@@ -11,12 +11,17 @@ high-water mark) next to decode tokens/sec — the numbers behind the
 quantized-KV memory claim.  ``latency_sweep`` times the gaps between a
 request's streamed :class:`~repro.serve.engine.TokenEvent`s and reports
 mean/p95 inter-token seconds — the number a streaming consumer actually
-experiences.  Run directly for a smoke report on an untrained tiny model
-(fast enough for CI):
+experiences.  ``prefix_sweep`` serves a shared-prefix workload (system
+prompt + per-request suffix) with prefix sharing off vs on and reports
+prefill tokens avoided, resident bytes per cached token, decode tok/s,
+and the decode trace projected onto the paper's accelerator.  Run
+directly for a smoke report on an untrained tiny model (fast enough for
+CI):
 
     PYTHONPATH=src python -m repro.serve --smoke
     PYTHONPATH=src python -m repro.serve --mem --smoke --json BENCH_serve_mem.json
     PYTHONPATH=src python -m repro.serve --stream --smoke --json BENCH_serve_stream.json
+    PYTHONPATH=src python -m repro.serve --prefix --smoke --json BENCH_serve_prefix.json
 """
 
 from __future__ import annotations
@@ -121,8 +126,9 @@ def sequential_throughput(model: TransformerLM, prompts: list[np.ndarray],
 
 def serve_session(model: TransformerLM, prompts: list[np.ndarray],
                   max_new_tokens: int, batch_size: int,
-                  kv_cache: str = "paged", block_size: int = 16
-                  ) -> tuple[GenerationEngine, "StreamLatencyPoint"]:
+                  kv_cache: str = "paged", block_size: int = 16,
+                  **engine_kwargs) -> tuple[GenerationEngine,
+                                            "StreamLatencyPoint"]:
     """Drive one full wave through a fresh session, timing the stream.
 
     The single drain loop behind every engine measurement: returns the
@@ -136,7 +142,8 @@ def serve_session(model: TransformerLM, prompts: list[np.ndarray],
     per request instead of aggregated.
     """
     engine = GenerationEngine(model, max_batch_size=batch_size,
-                              kv_cache=kv_cache, block_size=block_size)
+                              kv_cache=kv_cache, block_size=block_size,
+                              **engine_kwargs)
     for prompt in prompts:
         engine.submit(prompt, max_new_tokens)
     last_seen: dict[int, float] = {}
@@ -297,6 +304,177 @@ def memory_sweep(model: TransformerLM, max_new_tokens: int = 112,
                         points=tuple(points))
 
 
+def prefix_prompts(vocab_size: int, num: int, prefix_len: int,
+                   share_ratio: float = 1.0, suffix_len: int = 8,
+                   seed: int = 0) -> list[np.ndarray]:
+    """A shared-prefix workload: system prompt + per-request suffix.
+
+    ``share_ratio`` of the ``num`` prompts start with one common
+    ``prefix_len``-token prefix (a system prompt / few-shot template)
+    followed by a unique ``suffix_len``-token user suffix; the rest are
+    fully random prompts of the same total length.  Shared and unshared
+    prompts interleave, mimicking mixed traffic.
+    """
+    if not 0.0 <= share_ratio <= 1.0:
+        raise ValueError("share_ratio must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    prefix = rng.integers(0, vocab_size, size=prefix_len)
+    num_shared = round(num * share_ratio)
+    # Even spread of shared prompts through the arrival order.
+    shared_flags = [(i * num_shared) // num < ((i + 1) * num_shared) // num
+                    for i in range(num)]
+    prompts = []
+    for i in range(num):
+        suffix = rng.integers(0, vocab_size, size=suffix_len)
+        if shared_flags[i]:
+            prompts.append(np.concatenate([prefix, suffix]))
+        else:
+            prompts.append(rng.integers(0, vocab_size,
+                                        size=prefix_len + suffix_len))
+    return prompts
+
+
+@dataclass(frozen=True)
+class PrefixPoint:
+    """One engine run of the shared-prefix workload."""
+
+    mode: str                    # "paged" | "fineq"
+    batch_size: int
+    sharing: bool                # prefix store enabled?
+    share_ratio: float
+    prefix_len: int
+    num_sequences: int
+    max_new_tokens: int
+    prompt_tokens: int           # submitted prompt tokens
+    prefill_tokens: int          # tokens actually forwarded by prefill
+    shared_prompt_tokens: int    # prompt tokens adopted from cache
+    prefill_seconds: float
+    decode_tokens: int
+    decode_seconds: float
+    peak_cached_tokens: int
+    peak_physical_bytes: int     # resident cache bytes (shared blocks once)
+    preemptions: int
+    projected: dict | None = None  # accelerator projection (hw cycle model)
+
+    @property
+    def decode_tokens_per_s(self) -> float:
+        return self.decode_tokens / self.decode_seconds if self.decode_seconds else 0.0
+
+    @property
+    def physical_bytes_per_cached_token(self) -> float:
+        return self.peak_physical_bytes / self.peak_cached_tokens if self.peak_cached_tokens else 0.0
+
+    @property
+    def prefill_tokens_avoided(self) -> int:
+        return self.prompt_tokens - self.prefill_tokens
+
+
+@dataclass(frozen=True)
+class PrefixReport:
+    """Sharing-off vs sharing-on points per cache mode."""
+
+    model: str
+    block_size: int
+    prefix_len: int
+    share_ratio: float
+    points: tuple[PrefixPoint, ...]
+
+    def point(self, mode: str, sharing: bool) -> PrefixPoint:
+        for candidate in self.points:
+            if candidate.mode == mode and candidate.sharing == sharing:
+                return candidate
+        raise KeyError(f"no point for mode={mode!r} sharing={sharing}")
+
+    def rows(self) -> list[list[str]]:
+        out = []
+        for p in self.points:
+            projected = (f"{p.projected['fineq']['tokens_per_s']:,.0f}"
+                         if p.projected else "-")
+            out.append([p.mode, "on" if p.sharing else "off",
+                        f"{p.prefill_tokens:,}",
+                        f"{p.prefill_tokens_avoided:,}",
+                        f"{p.physical_bytes_per_cached_token:,.1f}",
+                        f"{p.decode_tokens_per_s:,.0f}", projected])
+        return out
+
+    def to_dict(self) -> dict:
+        points = []
+        for p in self.points:
+            entry = asdict(p)
+            entry["decode_tokens_per_s"] = p.decode_tokens_per_s
+            entry["physical_bytes_per_cached_token"] = \
+                p.physical_bytes_per_cached_token
+            entry["prefill_tokens_avoided"] = p.prefill_tokens_avoided
+            points.append(entry)
+        return {"model": self.model, "block_size": self.block_size,
+                "prefix_len": self.prefix_len,
+                "share_ratio": self.share_ratio, "points": points}
+
+
+def prefix_point(model: TransformerLM, prompts: list[np.ndarray],
+                 max_new_tokens: int, batch_size: int, mode: str,
+                 sharing: bool, share_ratio: float, prefix_len: int,
+                 block_size: int = 16, project: bool = True) -> PrefixPoint:
+    """Serve the shared-prefix workload once and record every axis."""
+    engine, _latency = serve_session(
+        model, prompts, max_new_tokens, batch_size, kv_cache=mode,
+        block_size=block_size, prefix_sharing=sharing,
+        scheduler="prefix-affinity" if sharing else "fifo",
+        record_trace=project)
+    stats = engine.stats
+    projected = None
+    if project and engine.trace:
+        from repro.hw.workloads import project_decode_trace
+        projected = {
+            design: project_decode_trace(model.config, engine.trace,
+                                         design=design).to_dict()
+            for design in ("baseline", "fineq")}
+    return PrefixPoint(mode=mode, batch_size=batch_size, sharing=sharing,
+                       share_ratio=share_ratio, prefix_len=prefix_len,
+                       num_sequences=len(prompts),
+                       max_new_tokens=max_new_tokens,
+                       prompt_tokens=stats.prompt_tokens,
+                       prefill_tokens=stats.prefill_tokens,
+                       shared_prompt_tokens=stats.shared_prompt_tokens,
+                       prefill_seconds=stats.prefill_seconds,
+                       decode_tokens=stats.decode_tokens,
+                       decode_seconds=stats.decode_seconds,
+                       peak_cached_tokens=stats.kv_peak_tokens,
+                       peak_physical_bytes=stats.kv_peak_physical_bytes,
+                       preemptions=stats.preemptions,
+                       projected=projected)
+
+
+def prefix_sweep(model: TransformerLM, prefix_len: int = 64,
+                 suffix_len: int = 8, batch_size: int = 16,
+                 share_ratio: float = 1.0, max_new_tokens: int = 16,
+                 modes: tuple[str, ...] = ("paged", "fineq"),
+                 block_size: int = 16, seed: int = 0,
+                 project: bool = True) -> PrefixReport:
+    """Prefix sharing off vs on, per cache mode.
+
+    Reports prefill tokens avoided, resident bytes per cached token, and
+    decode tok/s, plus (``project=True``) decode throughput projected
+    onto the paper's accelerator from the engine's step trace — the
+    numbers behind the prefix-sharing serving claim.
+    """
+    points = []
+    for mode in modes:
+        prompts = prefix_prompts(model.config.vocab_size, num=batch_size,
+                                 prefix_len=prefix_len,
+                                 share_ratio=share_ratio,
+                                 suffix_len=suffix_len, seed=seed)
+        for sharing in (False, True):
+            points.append(prefix_point(model, prompts, max_new_tokens,
+                                       batch_size, mode, sharing,
+                                       share_ratio, prefix_len,
+                                       block_size=block_size,
+                                       project=project))
+    return PrefixReport(model=model.config.name, block_size=block_size,
+                        prefix_len=prefix_len, share_ratio=share_ratio,
+                        points=tuple(points))
+
+
 @dataclass(frozen=True)
 class StreamLatencyPoint:
     """Inter-token latency of one streamed engine configuration."""
@@ -379,9 +557,19 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--stream", action="store_true",
                         help="run the streaming inter-token latency sweep "
                              "instead of the throughput sweep")
+    parser.add_argument("--prefix", action="store_true",
+                        help="run the prefix-sharing sweep (sharing off vs "
+                             "on per cache mode, with accelerator "
+                             "projection) instead of the throughput sweep")
+    parser.add_argument("--prefix-len", type=int, default=64,
+                        help="shared prefix length for --prefix "
+                             "(default 64)")
+    parser.add_argument("--share-ratio", type=float, default=1.0,
+                        help="fraction of prompts sharing the prefix for "
+                             "--prefix (default 1.0)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write the report as JSON "
-                             "(--mem or --stream only)")
+                             "(--mem, --stream, or --prefix only)")
     parser.add_argument("--num-prompts", type=int, default=None,
                         help="prompts to serve (default 16; fixed at one "
                              "full wave per batch size with --mem)")
@@ -402,11 +590,38 @@ def main(argv: list[str] | None = None) -> None:
         model = TransformerLM(tiny_config(vocab_size=256, seed=0))
         name = "tiny (untrained)"
 
-    if args.mem and args.stream:
-        parser.error("--mem and --stream are separate sweeps; pick one")
-    if args.json and not (args.mem or args.stream):
-        parser.error("--json requires --mem or --stream (the throughput "
-                     "sweep has no JSON report)")
+    if sum((args.mem, args.stream, args.prefix)) > 1:
+        parser.error("--mem, --stream, and --prefix are separate sweeps; "
+                     "pick one")
+    if args.json and not (args.mem or args.stream or args.prefix):
+        parser.error("--json requires --mem, --stream, or --prefix (the "
+                     "throughput sweep has no JSON report)")
+    if args.prefix:
+        if args.num_prompts is not None:
+            parser.error("--num-prompts has no effect with --prefix (each "
+                         "point serves one full wave of batch-size "
+                         "prompts); use --batch-sizes to scale the sweep")
+        batches = (args.batch_sizes or "16").split(",")
+        if len(batches) != 1:
+            parser.error("--prefix sweeps a single batch size; pass one "
+                         "value to --batch-sizes")
+        batch = int(batches[0])
+        max_new = (args.max_new_tokens if args.max_new_tokens is not None
+                   else (8 if args.smoke else 16))
+        report = prefix_sweep(model, prefix_len=args.prefix_len,
+                              batch_size=batch,
+                              share_ratio=args.share_ratio,
+                              max_new_tokens=max_new)
+        print(f"prefix sharing on {name} (prefix {args.prefix_len} tokens, "
+              f"share ratio {args.share_ratio:.0%}, batch {batch})")
+        print(format_table(["mode", "sharing", "prefill tok", "avoided",
+                            "bytes/token", "decode tok/s", "accel tok/s"],
+                           report.rows()))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(report.to_dict(), handle, indent=2)
+            print(f"wrote {args.json}")
+        return
     if args.stream:
         batches = tuple(int(b) for b in
                         (args.batch_sizes or "4,16").split(","))

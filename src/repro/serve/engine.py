@@ -54,6 +54,19 @@ row's last prompt position (``logits_positions``), so prefill cost no
 longer scales with ``vocab x prompt_len``.  :meth:`GenerationEngine.run`
 and :meth:`GenerationEngine.generate_batch` remain as thin wrappers over
 :meth:`GenerationEngine.step` for batch-oriented callers.
+
+Admission is delegated to a pluggable :class:`~repro.serve.scheduler
+.Scheduler` (``"fifo"`` default, ``"prefix-affinity"``, ``"priority"``
+with preemption), and ``prefix_sharing=True`` puts a
+:class:`~repro.serve.prefix.PrefixStore` in front of the paged cache:
+admitted prompts adopt the longest cached prefix by block reference and
+only the novel suffix is forwarded through the model (copy-on-write when
+a prompt diverges inside a partially-filled shared block).  Preempted
+requests requeue with their progress and restore from whatever shared
+prefix survived.  ``record_trace=True`` keeps a per-decode-step
+:class:`StepTrace` of (rows, tokens, KV bytes) that
+``repro.hw.workloads.project_decode_trace`` projects onto the paper's
+accelerator cycle model.
 """
 
 from __future__ import annotations
@@ -61,6 +74,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
+from typing import NamedTuple
 
 import numpy as np
 
@@ -69,6 +83,9 @@ from repro.nn.kv_cache import KVCache
 from repro.nn.paged_kv_cache import (DEFAULT_BLOCK_SIZE, PagedKVCache,
                                      QuantizedPagedKVCache)
 from repro.nn.model import TransformerLM
+from repro.serve.prefix import PrefixStore
+from repro.serve.scheduler import (RunningInfo, Scheduler, SchedulerView,
+                                   get_scheduler)
 
 #: Engine cache backends: constructor keyed by the ``kv_cache`` argument.
 KV_CACHE_MODES = ("paged", "fineq", "dense")
@@ -88,7 +105,10 @@ class SamplingParams:
     seed + submission order).  ``top_k``/``top_p`` of ``None`` disable
     the respective filter; ``top_k=1`` is exact greedy.  ``stop_tokens``
     terminate the request the step they are generated (the stop token is
-    kept, mirroring ``eos`` handling).
+    kept, mirroring ``eos`` handling).  ``priority`` (higher wins) only
+    matters under the ``"priority"`` scheduler, which admits high
+    priorities first and may preempt lower-priority running requests when
+    the block pool runs out.
     """
 
     max_new_tokens: int = 16
@@ -97,6 +117,7 @@ class SamplingParams:
     top_p: float | None = None
     seed: int | None = None
     stop_tokens: tuple[int, ...] = ()
+    priority: int = 0
 
     def __post_init__(self):
         if self.max_new_tokens < 1:
@@ -134,6 +155,40 @@ class Request:
         return self.params.temperature
 
 
+@dataclass
+class _QueueEntry:
+    """A waiting unit of work: a fresh submission or a preempted request.
+
+    ``tokens`` is what prefill forwards (prompt plus any tokens already
+    generated before a preemption) and ``generated``/``rng`` carry the
+    request's progress and private sampling stream across the preempt /
+    restore cycle, so a restored request continues exactly where it left
+    off.
+    """
+
+    request: Request
+    tokens: np.ndarray
+    generated: list[int]
+    rng: np.random.Generator
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+    @property
+    def priority(self) -> int:
+        return self.request.params.priority
+
+    # PR 1 compatibility: the old flat queue-inspection fields.
+    @property
+    def max_new_tokens(self) -> int:
+        return self.request.params.max_new_tokens
+
+    @property
+    def temperature(self) -> float:
+        return self.request.params.temperature
+
+
 @dataclass(frozen=True)
 class TokenEvent:
     """One streamed token (or terminal notice) for a request.
@@ -164,18 +219,32 @@ class Completion:
 
 @dataclass
 class EngineStats:
-    """Token/time accounting for throughput reporting."""
+    """Token/time accounting for throughput reporting.
+
+    Prefill counters are *per admission*: ``prompt_tokens`` is the
+    context each admission had to establish, ``shared_prompt_tokens``
+    the part adopted from cached prefixes, and ``prefill_tokens`` the
+    part actually forwarded through the model, so ``prompt_tokens ==
+    shared_prompt_tokens + prefill_tokens`` always.  A preempted
+    request's restore is a second admission (its prompt plus generated
+    progress count again) — the counters track prefill work done and
+    avoided, not unique submissions.
+    """
 
     prefill_tokens: int = 0
     prefill_seconds: float = 0.0
+    prompt_tokens: int = 0
+    shared_prompt_tokens: int = 0
     decode_tokens: int = 0
     decode_seconds: float = 0.0
     decode_steps: int = 0
     decode_slot_steps: int = 0  # steps x batch slots (for occupancy)
+    preemptions: int = 0
     # KV-cache memory, sampled every decode step at the point of most
     # live context tokens (the serving-memory high-water mark).
     kv_peak_tokens: int = 0
     kv_peak_used_bytes: int = 0
+    kv_peak_physical_bytes: int = 0
     kv_peak_allocated_bytes: int = 0
 
     @property
@@ -195,6 +264,32 @@ class EngineStats:
     def bytes_per_cached_token(self) -> float:
         """Cache bytes per live context token at the memory high-water mark."""
         return self.kv_peak_used_bytes / self.kv_peak_tokens if self.kv_peak_tokens else 0.0
+
+    @property
+    def physical_bytes_per_cached_token(self) -> float:
+        """Resident cache bytes per live context token at the high-water
+        mark; shared prefix blocks count once however many rows read
+        them, so this is the number prefix sharing drives down."""
+        return self.kv_peak_physical_bytes / self.kv_peak_tokens if self.kv_peak_tokens else 0.0
+
+    @property
+    def prefix_hit_tokens_ratio(self) -> float:
+        """Fraction of submitted prompt tokens served from cached prefixes."""
+        return self.shared_prompt_tokens / self.prompt_tokens if self.prompt_tokens else 0.0
+
+
+class StepTrace(NamedTuple):
+    """One decode step's workload, for accelerator projection.
+
+    ``kv_bytes`` is what the step's attention gathers actually stream
+    from cache storage (logical bytes: a shared block is read once per
+    reader row).  Tuple-shaped so ``repro.hw.workloads`` can consume
+    traces without importing the serving engine.
+    """
+
+    rows: int
+    tokens: int
+    kv_bytes: int
 
 
 @dataclass
@@ -270,18 +365,43 @@ class GenerationEngine:
         paged), or ``"dense"`` (rectangular baseline).
     block_size:
         Tokens per block for the paged backends.
+    scheduler:
+        Admission policy: ``"fifo"`` (default), ``"prefix-affinity"``,
+        ``"priority"``, or any object satisfying
+        :class:`repro.serve.scheduler.Scheduler`.
+    prefix_sharing:
+        Index prompts in a :class:`~repro.serve.prefix.PrefixStore` and
+        prefill only novel suffixes (paged backends only).
+    prefix_blocks:
+        Block budget for the prefix store's LRU eviction (None =
+        unbounded).
+    max_pool_blocks:
+        Soft KV-pool budget: admission throttles (and the priority
+        scheduler preempts) against it; forced growth can still exceed
+        it so in-flight writes never fail.
+    record_trace:
+        Append a :class:`StepTrace` per decode step to ``self.trace``
+        for accelerator projection via ``repro.hw.workloads``.
     """
 
     def __init__(self, model: TransformerLM, max_batch_size: int = 8,
                  eos_token: int | None = None,
                  rng: np.random.Generator | None = None,
                  initial_capacity: int = 64, kv_cache: str = "paged",
-                 block_size: int = DEFAULT_BLOCK_SIZE):
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 scheduler: str | Scheduler = "fifo",
+                 prefix_sharing: bool = False,
+                 prefix_blocks: int | None = None,
+                 max_pool_blocks: int | None = None,
+                 record_trace: bool = False):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if kv_cache not in KV_CACHE_MODES:
             raise ValueError(f"kv_cache must be one of {KV_CACHE_MODES}, "
                              f"got {kv_cache!r}")
+        if prefix_sharing and kv_cache == "dense":
+            raise ValueError("prefix_sharing needs a paged backend "
+                             "(block tables are the aliasing unit)")
         self.model = model
         self.max_batch_size = max_batch_size
         self.eos_token = eos_token
@@ -289,11 +409,18 @@ class GenerationEngine:
         self.initial_capacity = initial_capacity
         self.kv_cache = kv_cache
         self.block_size = block_size
+        self.scheduler = get_scheduler(scheduler)
+        self.prefix_sharing = prefix_sharing
+        self.prefix_blocks = prefix_blocks
+        self.max_pool_blocks = max_pool_blocks
+        self.record_trace = record_trace
+        self.trace: list[StepTrace] = []
         self.stats = EngineStats()
-        self._queue: deque[Request] = deque()
+        self._queue: deque[_QueueEntry] = deque()
         self._next_id = 0
         # Session state: created once, reused across every step()/run().
         self._cache: KVCache | PagedKVCache | None = None
+        self._prefix: PrefixStore | None = None
         self._slots: list[_Slot | None] = [None] * max_batch_size
         self._lengths = np.zeros(max_batch_size, dtype=np.int64)
         self._pending = np.zeros(max_batch_size, dtype=np.int64)
@@ -306,6 +433,12 @@ class GenerationEngine:
         """The session's KV cache (None until the first admit)."""
         return self._cache
 
+    @property
+    def prefix_store(self) -> PrefixStore | None:
+        """The prefix index (None until the first admit or when sharing
+        is disabled)."""
+        return self._prefix
+
     def _make_cache(self) -> KVCache | PagedKVCache:
         num_layers = self.model.config.num_layers
         batch = self.max_batch_size
@@ -313,9 +446,12 @@ class GenerationEngine:
             return KVCache(num_layers, batch=batch,
                            initial_capacity=self.initial_capacity)
         initial_blocks = batch * max(1, self.initial_capacity // self.block_size)
+        if self.max_pool_blocks is not None:
+            initial_blocks = min(initial_blocks, self.max_pool_blocks)
         cls = PagedKVCache if self.kv_cache == "paged" else QuantizedPagedKVCache
         return cls(num_layers, batch=batch, block_size=self.block_size,
-                   initial_blocks=initial_blocks)
+                   initial_blocks=initial_blocks,
+                   max_blocks=self.max_pool_blocks)
 
     # ------------------------------------------------------------------ #
     # request intake and cancellation
@@ -348,25 +484,32 @@ class GenerationEngine:
         request = Request(request_id=self._next_id, prompt=prompt,
                           params=params)
         self._next_id += 1
-        self._queue.append(request)
+        self._queue.append(_QueueEntry(
+            request=request, tokens=prompt, generated=[],
+            rng=np.random.default_rng(params.seed)))
         return request.request_id
 
     def cancel(self, request_id: int) -> bool:
         """Terminate a queued or running request immediately.
 
-        A running request's slot and cache blocks are freed right away;
-        its partial output lands in :meth:`take_completions` with
+        A running request's slot and cache blocks are freed right away
+        (shared prefix blocks stay resident for the prefix store and any
+        other readers — only exclusively-owned blocks return to the
+        pool); its partial output lands in :meth:`take_completions` with
         ``finish_reason="cancelled"`` and a terminal :class:`TokenEvent`
         (``token=None``) is emitted on the next :meth:`step`/
         :meth:`stream` iteration.  Returns False for ids that are unknown
         or already finished.
         """
-        for request in self._queue:
-            if request.request_id == request_id:
-                self._queue.remove(request)
+        for entry in self._queue:
+            if entry.request_id == request_id:
+                self._queue.remove(entry)
+                tokens = np.concatenate(
+                    [entry.request.prompt,
+                     np.asarray(entry.generated, dtype=np.int64)])
                 self._finished.append(Completion(
-                    request_id=request_id, tokens=request.prompt.copy(),
-                    prompt_len=len(request.prompt),
+                    request_id=request_id, tokens=tokens,
+                    prompt_len=len(entry.request.prompt),
                     finish_reason="cancelled"))
                 self._events.append(TokenEvent(request_id, None, "cancelled"))
                 return True
@@ -415,20 +558,45 @@ class GenerationEngine:
     def step(self) -> list[TokenEvent]:
         """Advance one admit+decode iteration; return this step's events.
 
-        Buffered out-of-step events (cancellations) flush first, then
-        waiting prompts are prefilled into free slots, then every active
-        slot decodes one token.  Safe to call with nothing to do.
+        Buffered out-of-step events (cancellations) flush first, then the
+        scheduler admits waiting prompts into free slots (possibly
+        preempting victims first), then every active slot decodes one
+        token.  Safe to call with nothing to do.
         """
         events = self._events
         self._events = []
         with no_grad():
-            if self._queue and any(slot is None for slot in self._slots):
+            if self._queue:
                 if self._cache is None:
                     self._cache = self._make_cache()
+                    if self.prefix_sharing:
+                        self._prefix = PrefixStore(
+                            self._cache, max_blocks=self.prefix_blocks)
                 events += self._admit()
             if any(slot is not None for slot in self._slots):
+                self._ensure_decode_headroom()
                 events += self._decode_step()
         return events
+
+    def _ensure_decode_headroom(self) -> None:
+        """Preempt (if the policy allows) when the next decode step needs
+        blocks the soft pool budget cannot grant: rows about to cross a
+        block boundary each allocate one block."""
+        cache = self._cache
+        if not isinstance(cache, PagedKVCache) or cache.max_blocks is None:
+            return
+        crossing = sum(1 for row, slot in enumerate(self._slots)
+                       if slot is not None
+                       and self._lengths[row] % cache.block_size == 0)
+        available = cache.available_blocks()
+        if available is None or crossing <= available:
+            return
+        view = self._scheduler_view()
+        for rid in self.scheduler.victims_for_blocks(view,
+                                                     crossing - available):
+            row = self._live.get(rid)
+            if row is not None:
+                self._preempt_row(row)
 
     def stream(self):
         """Yield :class:`TokenEvent`s until the session runs dry.
@@ -495,6 +663,12 @@ class GenerationEngine:
         if live_tokens > self.stats.kv_peak_tokens:
             self.stats.kv_peak_tokens = live_tokens
             self.stats.kv_peak_used_bytes = cache.used_bytes()
+            self.stats.kv_peak_physical_bytes = (
+                cache.physical_used_bytes()
+                if isinstance(cache, PagedKVCache) else cache.used_bytes())
+        if self.record_trace:
+            self.trace.append(StepTrace(rows=n, tokens=n,
+                                        kv_bytes=cache.used_bytes()))
         # The rectangular cache's allocated_bytes is an FP16 projection by
         # default; its buffers (like the paged pools) are really FP32.
         allocated = (cache.allocated_bytes(bytes_per_element=4)
@@ -516,50 +690,239 @@ class GenerationEngine:
                 self._retire(row, reason)
         return events
 
+    def _scheduler_view(self, free_slots: int | None = None) -> SchedulerView:
+        """Snapshot of engine state for one scheduler decision."""
+        if free_slots is None:
+            free_slots = sum(slot is None for slot in self._slots)
+        running = tuple(RunningInfo(request_id=slot.request.request_id,
+                                    row=row,
+                                    priority=slot.request.params.priority,
+                                    tokens_generated=len(slot.generated),
+                                    context_len=int(self._lengths[row]))
+                        for row, slot in enumerate(self._slots)
+                        if slot is not None)
+        cache = self._cache
+        if isinstance(cache, PagedKVCache):
+            free_blocks = cache.free_blocks()
+            available = cache.available_blocks()
+            block_size = cache.block_size
+        else:
+            free_blocks, available, block_size = 0, None, self.block_size
+        store = self._prefix
+
+        def prefix_peek(tokens):
+            if store is None:
+                return (0, None)
+            match = store.peek(tokens)
+            return (match.shared_len, match.node_key)
+
+        return SchedulerView(free_slots=free_slots, running=running,
+                             free_blocks=free_blocks,
+                             available_blocks=available,
+                             block_size=block_size, prefix_peek=prefix_peek)
+
+    def _fit_to_blocks(self, chosen: list[_QueueEntry],
+                       view: SchedulerView) -> list[_QueueEntry]:
+        """Trim an admission list to the soft block budget.
+
+        Keeps the longest prefix of the scheduler's choice whose
+        estimated new-block demand (prompt blocks minus cached shared
+        blocks) fits :meth:`PagedKVCache.available_blocks`.  When the
+        engine is otherwise idle the head request is admitted regardless
+        — the budget is soft, and degrading to one-at-a-time serving
+        beats stalling.
+        """
+        if not chosen or view.available_blocks is None:
+            return list(chosen)
+        kept: list[_QueueEntry] = []
+        budget = view.available_blocks
+        for entry in chosen:
+            shared, _ = view.prefix_peek(entry.tokens)
+            needed = max(0, -(-len(entry.tokens) // view.block_size)
+                         - shared // view.block_size)
+            if needed > budget and (kept or self.num_active > 0):
+                break
+            kept.append(entry)
+            budget = max(0, budget - needed)
+        return kept
+
+    def _defer_wave_duplicates(self,
+                               chosen: list[_QueueEntry]
+                               ) -> list[_QueueEntry]:
+        """Hold back same-wave requests that share an uncached prefix.
+
+        Prompts adopt prefixes from the store, which only indexes a
+        prefix *after* some wave prefilled it — so a cold shared prefix
+        arriving sixteen-fold in one wave would prefill sixteen times.
+        Keep one representative per uncached leading block; the deferred
+        rest stay queued and the admit loop re-selects them immediately
+        after the representative's wave captured the prefix, turning the
+        cold burst into one full prefill plus suffix-only prefills within
+        the same :meth:`step`.
+        """
+        if self._prefix is None:
+            return chosen
+        bs = self._cache.block_size
+        kept: list[_QueueEntry] = []
+        claimed: set[tuple[int, ...]] = set()
+        for entry in chosen:
+            tokens = entry.tokens
+            if len(tokens) > bs:  # at least one shareable full block
+                if self._prefix.peek(tokens).shared_len < bs:
+                    key = tuple(int(t) for t in tokens[:bs])
+                    if key in claimed:
+                        continue  # adopts the representative's capture
+                    claimed.add(key)
+            kept.append(entry)
+        return kept
+
+    def _preempt_row(self, row: int) -> None:
+        """Evict a running request to reclaim its slot and blocks.
+
+        The request re-queues at the front with its generated progress
+        and private RNG stream intact; only its exclusively-owned blocks
+        return to the pool (the shared prefix survives in the store), so
+        re-admission restores from the surviving prefix and re-prefills
+        just the rest.
+        """
+        slot = self._slots[row]
+        tokens = np.concatenate([slot.request.prompt,
+                                 np.asarray(slot.generated, dtype=np.int64)])
+        self._queue.appendleft(_QueueEntry(request=slot.request,
+                                           tokens=tokens,
+                                           generated=slot.generated,
+                                           rng=slot.rng))
+        self._slots[row] = None
+        self._lengths[row] = 0
+        self._live.pop(slot.request.request_id, None)
+        self._cache.free_rows(np.array([row]))
+        self._cache.trim(int(self._lengths.max()))
+        self.stats.preemptions += 1
+
     def _admit(self) -> list[TokenEvent]:
-        """Prefill waiting prompts into free slots until either runs out."""
-        events = []
+        """Admit waiting work as the scheduler directs.
+
+        Each round asks the scheduler for an admission list, trims it to
+        the block budget, and prefills it as one wave; when nothing fits
+        (no slots or no blocks) the scheduler may name victims to
+        preempt, otherwise admission waits for retirements.
+        """
+        events: list[TokenEvent] = []
         while self._queue:
             free = [row for row, slot in enumerate(self._slots)
                     if slot is None]
-            if not free:
-                break
-            rows = free[:len(self._queue)]
-            requests = [self._queue.popleft() for _ in rows]
-            new_slots = [_Slot(request=r,
-                               rng=np.random.default_rng(r.params.seed))
-                         for r in requests]
-            prompt_lens = np.array([len(r.prompt) for r in requests])
-            width = int(prompt_lens.max())
-            tokens = np.zeros((len(rows), width), dtype=np.int64)
-            for j, request in enumerate(requests):
-                tokens[j, :prompt_lens[j]] = request.prompt
+            view = self._scheduler_view(len(free))
+            queue = list(self._queue)
+            chosen = (self.scheduler.select(queue, len(free),
+                                            view)[:len(free)]
+                      if free else [])
+            chosen = self._defer_wave_duplicates(chosen)
+            chosen = self._fit_to_blocks(chosen, view)
+            if not chosen:
+                preempted = False
+                for rid in self.scheduler.preempt(queue, view):
+                    victim_row = self._live.get(rid)
+                    if victim_row is not None:
+                        self._preempt_row(victim_row)
+                        preempted = True
+                if not preempted:
+                    break
+                continue
+            events += self._prefill_wave(chosen, free[:len(chosen)])
+        return events
 
+    def _prefill_wave(self, entries: list[_QueueEntry],
+                      rows: list[int]) -> list[TokenEvent]:
+        """Prefill ``entries`` into cache rows ``rows`` in one forward."""
+        for entry in entries:
+            self._queue.remove(entry)
+        new_slots = [_Slot(request=e.request, rng=e.rng, generated=e.generated)
+                     for e in entries]
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        lens = np.array([len(e.tokens) for e in entries], dtype=np.int64)
+        starts = np.zeros(len(entries), dtype=np.int64)
+        if self._prefix is not None:
+            for j, (entry, row) in enumerate(zip(entries, rows)):
+                starts[j] = self._prefix.attach(row, entry.tokens)
+
+        start_t = time.perf_counter()
+        if self._prefix is not None:
+            logits = self._suffix_prefill(entries, rows_arr, starts, lens)
+        else:
             # Lean prefill: norm + LM head only at each row's last *real*
             # prompt position — the only logits generation samples from.
             # cache_lens gives paged caches the true (unpadded) lengths.
-            start = time.perf_counter()
+            width = int(lens.max())
+            tokens = np.zeros((len(rows), width), dtype=np.int64)
+            for j, entry in enumerate(entries):
+                tokens[j, :lens[j]] = entry.tokens
             logits = self.model(tokens, cache=self._cache,
-                                cache_rows=np.asarray(rows),
-                                cache_lens=prompt_lens,
-                                logits_positions=prompt_lens - 1)
-            self.stats.prefill_seconds += time.perf_counter() - start
-            self.stats.prefill_tokens += int(prompt_lens.sum())
+                                cache_rows=rows_arr, cache_lens=lens,
+                                logits_positions=lens - 1)
+        self.stats.prefill_seconds += time.perf_counter() - start_t
+        self.stats.prefill_tokens += int((lens - starts).sum())
+        self.stats.prompt_tokens += int(lens.sum())
+        self.stats.shared_prompt_tokens += int(starts.sum())
+        if self._prefix is not None:
+            # Index the freshly written prompts (before any same-step
+            # retirement can release their blocks).  Only the original
+            # prompt is captured — a restored request's regenerated
+            # continuation is its own, not a reusable prefix.
+            for entry, row in zip(entries, rows):
+                self._prefix.capture(row, entry.request.prompt)
 
-            first = self._sample(logits.data[:, 0], new_slots)
-            for j, (row, slot) in enumerate(zip(rows, new_slots)):
-                token = int(first[j])
-                slot.generated.append(token)
-                self._slots[row] = slot
-                self._lengths[row] = prompt_lens[j]
-                self._pending[row] = token
-                self._live[slot.request.request_id] = row
-                reason = self._finish_reason(row)
-                events.append(TokenEvent(slot.request.request_id, token,
-                                         reason))
-                if reason is not None:
-                    self._retire(row, reason)
+        events: list[TokenEvent] = []
+        first = self._sample(logits.data[:, 0], new_slots)
+        for j, (row, slot) in enumerate(zip(rows, new_slots)):
+            token = int(first[j])
+            slot.generated.append(token)
+            self._slots[row] = slot
+            self._lengths[row] = int(lens[j])
+            self._pending[row] = token
+            self._live[slot.request.request_id] = row
+            reason = self._finish_reason(row)
+            events.append(TokenEvent(slot.request.request_id, token,
+                                     reason))
+            if reason is not None:
+                self._retire(row, reason)
         return events
+
+    def _suffix_prefill(self, entries: list[_QueueEntry],
+                        rows: np.ndarray, starts: np.ndarray,
+                        lens: np.ndarray):
+        """Forward only each row's novel suffix over its adopted context.
+
+        Row ``j`` skips its ``starts[j]`` shared tokens: the suffix is
+        written after them (``cache_starts`` -> ``cache.prefill_rows``)
+        and attends over the gathered shared-plus-suffix context.  Since
+        rows sit at different depths, causality is encoded in a full
+        ``(batch, 1, seq, total)`` additive mask — suffix token ``i`` of
+        row ``j`` sees absolute positions ``<= starts[j] + i`` — instead
+        of attention's uniform triangular mask.
+        """
+        widths = lens - starts
+        width = int(widths.max())
+        n = len(entries)
+        tokens = np.zeros((n, width), dtype=np.int64)
+        positions = np.zeros((n, width), dtype=np.int64)
+        # Clamp padding positions into the RoPE table; padded K/V are
+        # never written (prefill_rows writes true lengths only) and
+        # padded logits are never sampled.
+        max_pos = self.model.config.max_seq_len - 1
+        offsets = np.arange(width)
+        for j, entry in enumerate(entries):
+            w = int(widths[j])
+            tokens[j, :w] = np.asarray(entry.tokens)[int(starts[j]):]
+            positions[j] = np.minimum(int(starts[j]) + offsets, max_pos)
+        total = max(int(lens.max()),
+                    self._cache.seq_len if self._cache is not None else 0)
+        query_pos = starts[:, None] + offsets[None, :]        # (n, width)
+        allow = np.arange(total)[None, None, :] <= query_pos[:, :, None]
+        kv_mask = np.where(allow, 0.0, -np.inf).astype(np.float32)[:, None]
+        return self.model(tokens, cache=self._cache, cache_rows=rows,
+                          cache_lens=widths, cache_starts=starts,
+                          positions=positions, kv_mask=kv_mask,
+                          logits_positions=widths - 1)
 
     def _finish_reason(self, row: int) -> str | None:
         """Terminal state for the row's newest token, or None to continue."""

@@ -1,8 +1,10 @@
-"""GEMM workload extraction tests."""
+"""GEMM workload extraction and decode-trace projection tests."""
 
-from repro.hw.workloads import (GEMMShape, block_gemms, model_gemms,
-                                total_macs, total_weight_count)
-from repro.models.configs import ZOO_CONFIGS, zoo_config
+from repro.hw.workloads import (DecodeProjection, GEMMShape, block_gemms,
+                                decode_step_cycles, model_gemms,
+                                project_decode_trace, total_macs,
+                                total_weight_count)
+from repro.models.configs import ZOO_CONFIGS, tiny_config, zoo_config
 
 
 def test_block_has_six_gemms():
@@ -47,3 +49,74 @@ def test_gemm_shape_properties():
     shape = GEMMShape("x", 4, 5, 6)
     assert shape.macs == 120
     assert shape.weight_count == 20
+
+
+# ---------------------------------------------------------------------- #
+# serving decode traces -> accelerator projection
+# ---------------------------------------------------------------------- #
+def test_decode_step_cycles_monotone_in_batch():
+    config = zoo_config("llama-sim-7b")
+    small = decode_step_cycles(config, 1, "fineq")
+    big = decode_step_cycles(config, 64, "fineq")
+    assert 0 < small <= big
+
+
+def test_projection_accumulates_trace():
+    config = zoo_config("llama-sim-3b")
+    trace = [(4, 4, 4096), (4, 4, 4096), (2, 2, 2048)]
+    projection = project_decode_trace(config, trace, design="fineq")
+    assert projection.steps == 3
+    assert projection.tokens == 10
+    per_step4 = decode_step_cycles(config, 4, "fineq")
+    per_step2 = decode_step_cycles(config, 2, "fineq")
+    assert projection.compute_cycles == 2 * per_step4 + per_step2
+    assert projection.kv_dma_cycles == -(-(2 * 4096 + 2048) // 128)
+    assert projection.tokens_per_s > 0
+    assert projection.seconds > 0
+    as_dict = projection.to_dict()
+    assert as_dict["total_cycles"] == projection.total_cycles
+
+
+def test_quantized_kv_bytes_project_to_fewer_dma_cycles():
+    """The FineQ cache's ~4.7x smaller KV footprint directly shrinks the
+    projected DMA time — the serving-side payoff of the 2.33-bit format."""
+    config = zoo_config("llama-sim-3b")
+    fp32_trace = [(8, 8, 8 * 4096)] * 16
+    quant_trace = [(8, 8, 8 * 4096 // 4)] * 16
+    fp32 = project_decode_trace(config, fp32_trace, design="baseline")
+    quant = project_decode_trace(config, quant_trace, design="fineq")
+    assert quant.kv_dma_cycles * 4 <= fp32.kv_dma_cycles + 4
+
+
+def test_projection_from_engine_trace():
+    """End to end: a traced engine session projects onto both designs."""
+    import numpy as np
+
+    from repro.nn import TransformerLM
+    from repro.serve import GenerationEngine
+
+    model = TransformerLM(tiny_config(vocab_size=64, seed=0))
+    engine = GenerationEngine(model, max_batch_size=4, record_trace=True)
+    for i in range(4):
+        engine.submit(np.arange(1 + i, 6 + i), 6)
+    engine.run()
+    assert len(engine.trace) == engine.stats.decode_steps
+    assert sum(t.tokens for t in engine.trace) == engine.stats.decode_tokens
+    baseline = project_decode_trace(model.config, engine.trace, "baseline")
+    fineq = project_decode_trace(model.config, engine.trace, "fineq")
+    assert isinstance(baseline, DecodeProjection)
+    assert baseline.tokens == fineq.tokens == engine.stats.decode_tokens
+    assert fineq.tokens_per_s > 0 and baseline.tokens_per_s > 0
+
+
+def test_untraced_engine_keeps_no_trace():
+    import numpy as np
+
+    from repro.nn import TransformerLM
+    from repro.serve import GenerationEngine
+
+    model = TransformerLM(tiny_config(vocab_size=64, seed=0))
+    engine = GenerationEngine(model, max_batch_size=2)
+    engine.submit(np.array([1, 2, 3]), 4)
+    engine.run()
+    assert engine.trace == []
