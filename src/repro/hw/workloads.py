@@ -141,23 +141,31 @@ def project_decode_trace(config: ModelConfig,
                          pipeline=None) -> DecodeProjection:
     """Project a serving-engine decode trace onto the accelerator.
 
-    ``trace`` is an iterable of per-step ``(rows, tokens, kv_bytes)``
-    records (the engine's ``StepTrace`` tuples).  Steps with equal batch
-    width share one cycle simulation, so long traces stay cheap.
+    ``trace`` is an iterable of per-step ``(rows, tokens, kv_bytes[,
+    kv_bytes_streamed])`` records (the engine's ``StepTrace`` tuples).
+    When a step carries the fourth field (non-negative), that is the
+    *post-dequant-cache* byte count the block-resident decode actually
+    fetched from cache storage — the DMA lane is charged with it instead
+    of the logical gather bytes, so the projection credits reuse of
+    memoised dequantized blocks.  Steps with equal batch width share one
+    cycle simulation, so long traces stay cheap.
     """
     from repro.hw.cycle_model import PipelineConfig
 
     pipeline = pipeline or PipelineConfig()
     cycles_by_batch: dict[int, int] = {}
     steps = tokens = compute = kv_bytes_total = 0
-    for rows, step_tokens, kv_bytes in trace:
-        rows = int(rows)
+    for record in trace:
+        rows, step_tokens, kv_bytes = (int(record[0]), int(record[1]),
+                                       int(record[2]))
+        if len(record) > 3 and int(record[3]) >= 0:
+            kv_bytes = int(record[3])
         if rows not in cycles_by_batch:
             cycles_by_batch[rows] = decode_step_cycles(config, rows, design,
                                                        pipeline)
         compute += cycles_by_batch[rows]
-        kv_bytes_total += int(kv_bytes)
-        tokens += int(step_tokens)
+        kv_bytes_total += kv_bytes
+        tokens += step_tokens
         steps += 1
     kv_dma = -(-kv_bytes_total // int(pipeline.dma_bytes_per_cycle))
     return DecodeProjection(design=design, clock_mhz=pipeline.clock_mhz,

@@ -43,8 +43,13 @@ def zoo_config(name: str) -> ModelConfig:
                        f"available: {sorted(ZOO_CONFIGS)}") from None
 
 
-def tiny_config(vocab_size: int = 256, seed: int = 0) -> ModelConfig:
-    """A deliberately small config for fast unit tests."""
+def tiny_config(vocab_size: int = 256, seed: int = 0,
+                max_seq_len: int = 128) -> ModelConfig:
+    """A deliberately small config for fast unit tests.
+
+    ``max_seq_len`` widens the RoPE table for long-context decode
+    benchmarks without forking the tiny dims.
+    """
     return ModelConfig(name="tiny", vocab_size=vocab_size, d_model=48,
                        num_layers=2, num_heads=2, d_ff=96,
-                       max_seq_len=128, seed=seed)
+                       max_seq_len=max_seq_len, seed=seed)

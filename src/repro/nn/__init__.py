@@ -10,15 +10,21 @@ from repro.nn.module import Module, Parameter
 from repro.nn.layers import Linear, Embedding, RMSNorm
 from repro.nn.rope import RotaryEmbedding
 from repro.nn.attention import MultiHeadAttention
+from repro.nn.block_attention import block_decode_attention
 from repro.nn.transformer import FeedForward, TransformerBlock
 from repro.nn.model import ModelConfig, TransformerLM
 from repro.nn.kv_cache import KVCache
-from repro.nn.paged_kv_cache import (DEFAULT_BLOCK_SIZE, PagedKVCache,
-                                     QuantizedPagedKVCache)
+from repro.nn.paged_kv_cache import (DEFAULT_BLOCK_SIZE,
+                                     DEFAULT_CHUNK_BLOCKS,
+                                     DEFAULT_DEQUANT_CACHE_BYTES,
+                                     DequantBlockCache, KVReadStats,
+                                     PagedKVCache, QuantizedPagedKVCache)
 
 __all__ = [
     "Module", "Parameter", "Linear", "Embedding", "RMSNorm",
     "RotaryEmbedding", "MultiHeadAttention", "FeedForward",
     "TransformerBlock", "ModelConfig", "TransformerLM", "KVCache",
     "PagedKVCache", "QuantizedPagedKVCache", "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_CHUNK_BLOCKS", "DEFAULT_DEQUANT_CACHE_BYTES",
+    "DequantBlockCache", "KVReadStats", "block_decode_attention",
 ]

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import Tensor, functional as F
+from repro.nn.block_attention import block_decode_attention
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.nn.rope import RotaryEmbedding
@@ -91,7 +92,12 @@ class MultiHeadAttention(Module):
         rows: ``x`` holds only the engine's *active* slots, so idle slots
         are neither forwarded nor gathered.  ``cache`` may be rectangular
         or paged (possibly quantized): all variants share the same write
-        methods and return full-context K/V arrays.
+        methods and return full-context K/V arrays.  Paged caches with
+        ``block_decode`` enabled route single-token decodes through
+        :func:`repro.nn.block_attention.block_decode_attention` instead:
+        the token is written without a context gather and attention
+        iterates the block table chunk by chunk, so no dense
+        ``(batch, heads, total, head_dim)`` copy is materialised.
         """
         batch, seq, _ = x.shape
         if cache_rows is not None or cache is None:
@@ -115,6 +121,30 @@ class MultiHeadAttention(Module):
                 cache.write_rows(layer_index, k.data, v.data, cache_rows,
                                  row_lengths=cache_lens)
             elif positions is not None and seq == 1:
+                use_block = getattr(cache, "block_decode", False)
+                if use_block and getattr(cache, "dequant_cache", None) is None:
+                    # FP32 pools: below one chunk window the block path
+                    # is the gather path's math at extra bookkeeping
+                    # cost, so only chunk genuinely long contexts.  The
+                    # quantized cache always takes the block path — its
+                    # dequant memo pays at any length.
+                    total = max(offset, int(positions[:, 0].max()) + 1)
+                    use_block = total > cache.chunk_blocks * cache.block_size
+                if use_block:
+                    # Block-resident decode: write the token without the
+                    # dense context gather, then attend block chunk by
+                    # block chunk against the pool itself (inference
+                    # path — the cache read carries no gradients, like
+                    # the Tensor(k_data) rewrap below).
+                    cache.write_token(layer_index, k.data, v.data,
+                                      positions[:, 0], rows=decode_rows,
+                                      gather=False)
+                    context = block_decode_attention(
+                        q.data, cache, layer_index, kv_mask=kv_mask,
+                        rows=decode_rows)
+                    merged = Tensor(context).transpose(0, 2, 1, 3) \
+                                            .reshape(batch, seq, self.d_model)
+                    return self.wo(merged)
                 k_data, v_data = cache.write_token(layer_index, k.data, v.data,
                                                    positions[:, 0],
                                                    rows=decode_rows)

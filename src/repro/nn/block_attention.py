@@ -1,0 +1,106 @@
+"""Block-resident single-token decode attention for paged KV caches.
+
+The pre-change decode read gathered every row's whole context into a
+dense ``(batch, heads, total, head_dim)`` copy per layer per step (and,
+on the quantized cache, re-ran LUT dequantization over every owned
+block each time) before a single attention matmul consumed it.  Here the
+paged block table itself is the iteration space — the paper's
+accelerator dataflow projected into numpy: scores are computed chunk by
+chunk against the pool (``q @ pool[ids]ᵀ``), softmax normalisation runs
+over the assembled score vector (``O(total)`` floats, no ``head_dim``
+factor), and the value contraction streams the same chunks back through
+the softmax weights.  Only one chunk of K or V is ever resident.
+
+Numerics: per-chunk score matmuls reduce over ``head_dim`` exactly like
+the dense matmul, so scores — and therefore the softmax probabilities —
+are bit-identical to the gather path's.  The value contraction
+accumulates per-chunk partial products in chunk order; whenever the
+context fits one chunk (``chunk_blocks * block_size`` tokens, 128 by
+default) that too is the identical monolithic matmul, and beyond it the
+summation tree differs only in final-ulp rounding.  The quantized
+cache's chunks read through its dequant-block memo, so a hot block is
+dequantized once per step across all readers instead of per row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _softmax_probs(scores: np.ndarray, kv_mask: np.ndarray | None,
+                   head_dim: int) -> np.ndarray:
+    """Scale, mask, and normalise raw ``q @ kᵀ`` scores.
+
+    One shared copy of the exact op sequence the dense gather path runs
+    (``* 1/sqrt(d)``, additive mask, max-shift, exp, normalise — see
+    :func:`repro.autograd.functional.softmax`), so both block-attention
+    paths keep the bit-parity contract by construction; ``-inf`` masked
+    slots exponentiate to exact zeros.
+    """
+    scores = scores * (1.0 / np.sqrt(head_dim))
+    if kv_mask is not None:
+        scores = scores + kv_mask
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def block_decode_attention(q: np.ndarray, cache, layer_index: int,
+                           kv_mask: np.ndarray | None = None,
+                           rows: np.ndarray | None = None) -> np.ndarray:
+    """Single-token attention over a paged cache, block chunk by chunk.
+
+    Parameters
+    ----------
+    q:
+        ``(n, heads, 1, head_dim)`` float32 query — one decode token per
+        (sub-batch) row, already rotated.
+    cache:
+        A paged cache exposing ``context_blocks(layer, rows, kind)`` and
+        ``layer_len`` (see :class:`repro.nn.paged_kv_cache.PagedKVCache`).
+        The step's K/V must already be written (``write_token`` with
+        ``gather=False``).
+    kv_mask:
+        Optional additive ``(n, 1, 1, total)`` mask (the engine's
+        per-row length mask); masked slots contribute exact zeros.
+    rows:
+        Cache rows behind ``q``'s entries (``None`` = all rows).
+
+    Returns the ``(n, heads, 1, head_dim)`` float32 context (the
+    pre-``wo`` attention output).
+    """
+    n, heads, _, head_dim = q.shape
+    total = cache.layer_len(layer_index)
+
+    if total <= cache.chunk_blocks * cache.block_size:
+        # Short contexts fit one chunk: read K and V in a single pass
+        # (the FP32 pool reuses the plain gather — the chunk *is* the
+        # whole context; the quantized pool assembles through its
+        # dequant memo) and run the monolithic attention ops on it —
+        # op for op the gather path's math, so the result is
+        # bit-identical, while the chunk is still the only materialised
+        # copy and stays bounded by the chunk window.
+        k, v = cache.context_chunk_pair(layer_index, rows=rows)
+        return _softmax_probs(q @ k.transpose(0, 1, 3, 2), kv_mask,
+                              head_dim) @ v
+
+    # Pass 1: scores, one chunk at a time.  Each chunk's q @ kᵀ reduces
+    # over head_dim exactly as the dense matmul does, so the assembled
+    # score vector is bit-identical to the gather path's.
+    score_chunks = []
+    for start, k_chunk in cache.context_blocks(layer_index, rows=rows,
+                                               kind="k"):
+        width = min(k_chunk.shape[2], total - start)
+        score_chunks.append(q @ k_chunk[:, :, :width].transpose(0, 1, 3, 2))
+    probs = _softmax_probs(np.concatenate(score_chunks, axis=-1), kv_mask,
+                           head_dim)
+
+    # Pass 2: stream the value chunks back through the softmax weights
+    # (an online accumulation — no rescaling needed, the normaliser is
+    # already exact).
+    context = np.zeros((n, heads, 1, head_dim), dtype=np.float32)
+    for start, v_chunk in cache.context_blocks(layer_index, rows=rows,
+                                               kind="v"):
+        width = min(v_chunk.shape[2], total - start)
+        context += probs[..., start:start + width] @ v_chunk[:, :, :width]
+    return context

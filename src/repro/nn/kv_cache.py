@@ -94,8 +94,8 @@ class KVCache:
 
     def write_token(self, layer: int, k: np.ndarray, v: np.ndarray,
                     positions: np.ndarray,
-                    rows: np.ndarray | None = None
-                    ) -> tuple[np.ndarray, np.ndarray]:
+                    rows: np.ndarray | None = None, gather: bool = True
+                    ) -> tuple[np.ndarray, np.ndarray] | None:
         """Scatter one decode token per batch row at ``positions``.
 
         ``k``/``v`` are ``(batch, heads, 1, head_dim)``; row ``b`` is
@@ -106,7 +106,11 @@ class KVCache:
         ``rows`` selects a sub-batch of cache rows (the serving engine's
         active slots): ``k``/``v`` then carry ``len(rows)`` entries and
         the returned context is gathered for those rows only, so idle
-        slots cost no decode work.
+        slots cost no decode work.  ``gather=False`` (interface parity
+        with the paged caches' block-resident decode) skips the read and
+        returns ``None`` — though the rectangle's full-batch read is a
+        zero-copy view, so this cache stays on the gather path: it *is*
+        the dense reference the block path is tested against.
         """
         positions = np.asarray(positions, dtype=np.int64)
         needed = int(positions.max()) + 1
@@ -116,6 +120,8 @@ class KVCache:
         self._keys[layer][row_idx, :, positions] = k[:, :, 0]
         self._values[layer][row_idx, :, positions] = v[:, :, 0]
         self._lengths[layer] = max(self._lengths[layer], needed)
+        if not gather:
+            return None
         if rows is None:
             return self._views(layer)
         length = self._lengths[layer]

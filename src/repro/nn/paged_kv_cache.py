@@ -45,9 +45,31 @@ and :meth:`copy_block` is the copy-on-write primitive used when a new
 request diverges *inside* a partially-filled shared block.  A block
 returns to the free list only when its last reference drops, so retiring
 or cancelling a reader frees exactly the blocks it owned exclusively.
+
+Two read paths serve attention:
+
+* :meth:`_context` gathers the rows' whole context into dense
+  ``(batch, heads, total, head_dim)`` arrays — the prefill read (suffix
+  attention needs the full context as one tensor) and the pre-block-
+  attention decode path, kept as the pinned reference.
+* :meth:`context_blocks` iterates the same context chunk by chunk
+  (``chunk_blocks`` blocks at a time) for
+  :func:`repro.nn.block_attention.block_decode_attention`, so a
+  single-token decode never materialises the dense copy.  On the
+  quantized cache the chunk assembly reads dequantized blocks through a
+  :class:`DequantBlockCache`: quantized pool blocks are immutable once
+  written (writes go through the FP32 buffer; COW copies get fresh
+  ids), so a block's dequantized values are memoised by ``(layer,
+  block id)`` under a byte budget with LRU eviction and invalidated
+  whenever a payload is rewritten or the block is freed.  A shared
+  system-prompt block therefore dequantizes once per step across all
+  its readers — and once *ever* while it stays cache-resident —
+  instead of ``batch x layers x steps`` times.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -58,6 +80,228 @@ from repro.core.packing import (CLUSTERS_PER_GROUP, GROUP_BYTES,
 
 #: Tokens per cache block (vLLM's default granularity).
 DEFAULT_BLOCK_SIZE = 16
+
+#: Blocks per :meth:`PagedKVCache.context_blocks` chunk.  128 tokens at
+#: the default block size: wide enough to amortize the per-chunk python
+#: dispatch, narrow enough that decode scratch stays a small constant
+#: fraction of a long context's dense gather.
+DEFAULT_CHUNK_BLOCKS = 8
+
+#: Default byte budget for the quantized cache's dequantized-block LRU.
+DEFAULT_DEQUANT_CACHE_BYTES = 128 * 2 ** 20
+
+
+@dataclass
+class KVReadStats:
+    """Decode-read accounting accumulated by :meth:`context_blocks`.
+
+    ``logical_bytes`` is what the pre-block-attention gather would have
+    materialised (dense FP32 K+V for every row's full context, per
+    layer); ``streamed_bytes`` is what the block iteration actually
+    fetched from cache storage (whole chunks for FP32 pools; quantized
+    payload+scale bytes for dequant-cache misses plus FP32 write-buffer
+    bytes for current blocks — hits stream nothing, which is the number
+    the accelerator projection credits); ``peak_scratch_bytes`` is the
+    largest transient chunk scratch any single read materialised; and
+    ``bytes_not_gathered`` is the dense copy that never existed
+    concurrently (``logical`` minus one resident chunk, per call).
+    ``dequant_hits`` /
+    ``dequant_misses`` count per-reader block lookups in the
+    :class:`DequantBlockCache` (a block missed once but read by sixteen
+    rows in the same chunk counts one miss and fifteen hits).
+    """
+
+    logical_bytes: int = 0
+    streamed_bytes: int = 0
+    peak_scratch_bytes: int = 0
+    bytes_not_gathered: int = 0
+    dequant_hits: int = 0
+    dequant_misses: int = 0
+
+
+class DequantBlockCache:
+    """LRU memo of dequantized quantized-pool blocks, keyed by
+    ``(layer, block id)``.
+
+    Quantized pool blocks are immutable once written, so their
+    dequantized ``(heads, block, head_dim)`` K/V values can be reused
+    across readers, layers' worth of decode steps, and sessions of the
+    same engine.  Entries live in slot-pooled value stores (one K and
+    one V array) so chunk assembly is a single fancy-index gather; the
+    slot count is ``budget_bytes`` divided by the per-entry footprint,
+    grown lazily and recycled LRU.  :meth:`invalidate` drops a block's
+    entries in every layer — called whenever a payload is rewritten or
+    the block returns to the free list, so a recycled block id can never
+    serve stale values.
+    """
+
+    def __init__(self, num_layers: int, heads: int, block_size: int,
+                 head_dim: int, budget_bytes: int):
+        self.num_layers = num_layers
+        self.entry_bytes = 2 * heads * block_size * head_dim * 4  # K + V
+        self.capacity = max(0, int(budget_bytes) // self.entry_bytes)
+        self._shape = (heads, block_size, head_dim)
+        self._store_k = np.zeros((0,) + self._shape, dtype=np.float32)
+        self._store_v = np.zeros((0,) + self._shape, dtype=np.float32)
+        # (layer, block id) -> slot, as an array so a chunk's lookups are
+        # one fancy index instead of per-id dict probes (-1 = absent).
+        self._slot_table = np.full((num_layers, 0), -1, dtype=np.int64)
+        self._entries = 0
+        self._key_of: list[tuple[int, int] | None] = []
+        self._occupied = np.zeros(0, dtype=bool)
+        self._last_used = np.zeros(0, dtype=np.int64)
+        self._free: list[int] = []
+        self._tick = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return self._entries
+
+    def used_bytes(self) -> int:
+        return self._entries * self.entry_bytes
+
+    def slot(self, layer: int, block_id: int) -> int:
+        """Slot holding ``(layer, block_id)``, or ``-1`` when absent."""
+        if int(block_id) >= self._slot_table.shape[1]:
+            return -1
+        return int(self._slot_table[layer, int(block_id)])
+
+    def _ensure_blocks(self, max_block: int) -> None:
+        width = self._slot_table.shape[1]
+        if max_block < width:
+            return
+        wider = np.full((self.num_layers, max(max_block + 1, 2 * width)),
+                        -1, dtype=np.int64)
+        wider[:, :width] = self._slot_table
+        self._slot_table = wider
+
+    def _grow(self, needed: int) -> None:
+        """Allocate more slots (amortized doubling, capped at capacity)."""
+        have = len(self._key_of)
+        new = min(self.capacity, max(needed, 2 * have, 16))
+        if new <= have:
+            return
+        for name in ("_store_k", "_store_v"):
+            store = getattr(self, name)
+            grown = np.zeros((new,) + self._shape, dtype=np.float32)
+            grown[:have] = store
+            setattr(self, name, grown)
+        used = self._last_used
+        self._last_used = np.zeros(new, dtype=np.int64)
+        self._last_used[:have] = used
+        occupied = self._occupied
+        self._occupied = np.zeros(new, dtype=bool)
+        self._occupied[:have] = occupied
+        self._free.extend(range(have, new))
+        self._key_of.extend([None] * (new - have))
+
+    def _claim_slots(self, count: int, tick: int) -> list[int]:
+        """Up to ``count`` free-or-evicted slots (never ones used at
+        ``tick`` — entries read in the current lookup stay pinned)."""
+        # Grow only when the free list cannot cover the request (lazy:
+        # the store tracks the working set, not the whole budget).
+        if len(self._free) < count and len(self._key_of) < self.capacity:
+            self._grow(len(self._key_of) - len(self._free) + count)
+        slots = [self._free.pop() for _ in range(min(count, len(self._free)))]
+        short = count - len(slots)
+        if short > 0 and len(self._key_of):
+            # Vectorized victim pick: occupied slots not touched this
+            # lookup, the `short` least-recently-used of them (partial
+            # partition, not a full sort — this runs on the decode hot
+            # path whenever the working set outgrows the budget).
+            candidates = np.nonzero(self._occupied
+                                    & (self._last_used < tick))[0]
+            if len(candidates):
+                take = min(short, len(candidates))
+                order = np.argpartition(self._last_used[candidates],
+                                        take - 1)[:take]
+                for slot in candidates[order]:
+                    slot = int(slot)
+                    layer, block = self._key_of[slot]
+                    self._slot_table[layer, block] = -1
+                    self._key_of[slot] = None
+                    self._occupied[slot] = False
+                    self._entries -= 1
+                    self.evictions += 1
+                    slots.append(slot)
+        return slots
+
+    def lookup(self, layer: int, ids: np.ndarray, kind: str,
+               dequant_pair, dequant_kind
+               ) -> tuple[np.ndarray, int, int]:
+        """Dequantized values for block ``ids`` (duplicates welcome —
+        many rows reading one shared block is the expected shape).
+
+        Returns ``((len(ids), heads, block, head_dim) float32, misses,
+        paired)``: ``misses`` counts the *unique* blocks that had to be
+        dequantized — sixteen readers of one cold shared block are one
+        miss (the fifteen served from its fresh dequant count as hits,
+        and the streamed-bytes charge stays one payload fetch) — and
+        ``paired <= misses`` is how many of them fetched both operands.
+
+        Slots are claimed *before* dequantizing: blocks that win a slot
+        dequantize both operands via ``dequant_pair(ids) -> (k, v)`` (so
+        the sibling pass hits), while blocks the budget cannot pin
+        dequantize only the requested operand via ``dequant_kind(ids)``
+        — a saturated cache therefore degrades to the cache-disabled
+        cost instead of paying double LUT work while thrashing.
+        """
+        self._tick += 1
+        tick = self._tick
+        ids = np.asarray(ids, dtype=np.int64)
+        self._ensure_blocks(int(ids.max(initial=0)))
+        slots = self._slot_table[layer, ids]
+        store = self._store_k if kind == "k" else self._store_v
+        hit = slots >= 0
+        out = np.empty((len(ids),) + self._shape, dtype=np.float32)
+        if hit.any():
+            hit_slots = slots[hit]
+            out[hit] = store[hit_slots]
+            self._last_used[hit_slots] = tick
+        misses = m = 0
+        if not hit.all():
+            miss = ~hit
+            uniq, inverse = np.unique(ids[miss], return_inverse=True)
+            misses = len(uniq)
+            granted = self._claim_slots(misses, tick)
+            vals = np.empty((misses,) + self._shape, dtype=np.float32)
+            m = len(granted)
+            if m:
+                k_vals, v_vals = dequant_pair(uniq[:m])
+                vals[:m] = k_vals if kind == "k" else v_vals
+                for i, slot in enumerate(granted):
+                    self._store_k[slot] = k_vals[i]
+                    self._store_v[slot] = v_vals[i]
+                    block = int(uniq[i])
+                    self._slot_table[layer, block] = slot
+                    self._key_of[slot] = (layer, block)
+                    self._occupied[slot] = True
+                    self._last_used[slot] = tick
+                    self._entries += 1
+            if m < misses:
+                vals[m:] = dequant_kind(uniq[m:])
+            out[miss] = vals[inverse]
+        return out, misses, m
+
+    def invalidate(self, block_id: int, layer: int | None = None) -> None:
+        """Drop the block's entries — the stale dequant must never be
+        served again.  ``layer`` scopes the drop to one layer's entry (a
+        payload rewrite touches one layer's pool; the sibling layers'
+        cached values stay valid); ``None`` sweeps every layer (block
+        freed or recycled — the id means something new everywhere)."""
+        block_id = int(block_id)
+        if block_id >= self._slot_table.shape[1]:
+            return
+        layers = range(self.num_layers) if layer is None else (layer,)
+        for one in layers:
+            slot = int(self._slot_table[one, block_id])
+            if slot >= 0:
+                self._slot_table[one, block_id] = -1
+                self._key_of[slot] = None
+                self._occupied[slot] = False
+                self._last_used[slot] = 0
+                self._free.append(slot)
+                self._entries -= 1
 
 
 def quantize_kv_block(blocks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -117,21 +361,34 @@ class PagedKVCache:
         forced — but :meth:`available_blocks` reports the remaining
         headroom so the engine's scheduler can throttle admission or
         preempt low-priority rows instead of overshooting the budget.
+    block_decode:
+        Advertise the block-resident decode read path: attention then
+        routes single-token decodes through :meth:`context_blocks`
+        instead of the dense :meth:`_context` gather.
+    chunk_blocks:
+        Blocks gathered per :meth:`context_blocks` chunk (the decode
+        scratch granularity).
     """
 
     def __init__(self, num_layers: int, batch: int,
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  initial_blocks: int | None = None,
-                 max_blocks: int | None = None):
+                 max_blocks: int | None = None,
+                 block_decode: bool = True,
+                 chunk_blocks: int = DEFAULT_CHUNK_BLOCKS):
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
         if batch < 1:
             raise ValueError("batch must be >= 1")
+        if chunk_blocks < 1:
+            raise ValueError("chunk_blocks must be >= 1")
         self.num_layers = num_layers
         self.batch = batch
         self.block_size = block_size
         self.initial_blocks = initial_blocks or 2 * batch
         self.max_blocks = max_blocks
+        self.block_decode = block_decode
+        self.chunk_blocks = chunk_blocks
         self._heads: int | None = None
         self._head_dim = 0
         self._total_blocks = 0
@@ -142,6 +399,12 @@ class PagedKVCache:
         self._row_len = np.zeros(batch, dtype=np.int64)
         self._row_index = np.arange(batch)
         self._lengths = [0] * num_layers
+        # Block tables are shared across layers, so a decode step's
+        # (rows -> block ids) resolution is computed once (at the first
+        # layer's read) and reused by every layer; any table mutation
+        # clears the memo (see _invalidate_ids_memo).
+        self._ids_memo: dict[tuple[int, bytes | None], np.ndarray] = {}
+        self._read_stats = KVReadStats()
 
     # ------------------------------------------------------------------ #
     # storage management
@@ -201,10 +464,19 @@ class PagedKVCache:
         self._refcount[block] = 1
         return block
 
+    def _invalidate_ids_memo(self) -> None:
+        """Invalidate the memoised (rows -> block ids) resolutions."""
+        self._ids_memo.clear()
+
+    def _on_block_freed(self, block: int) -> None:
+        """Hook: ``block`` just returned to the free list (last reference
+        dropped).  The quantized cache invalidates its dequant memo here."""
+
     def _ensure_row_blocks(self, rows: np.ndarray, needed: np.ndarray) -> None:
         """Grow block tables so each of ``rows`` owns ``needed`` blocks."""
         if np.all(needed <= self._blocks_per_row[rows]):
             return  # steady-state decode: no row crossed a block boundary
+        self._invalidate_ids_memo()
         width = self._tables.shape[1]
         max_needed = int(np.max(needed, initial=0))
         if max_needed > width:
@@ -232,6 +504,7 @@ class PagedKVCache:
             self.release_blocks(self._tables[row, :count])
             self._blocks_per_row[row] = 0
             self._row_len[row] = 0
+        self._invalidate_ids_memo()
 
     def free_blocks(self) -> int:
         """Blocks on the shared free list (allocated but unowned)."""
@@ -262,6 +535,7 @@ class PagedKVCache:
             self._refcount[block] -= 1
             if self._refcount[block] == 0:
                 self._free.append(block)
+                self._on_block_freed(block)
 
     def block_refcount(self, block_id: int) -> int:
         """Current reference count of one block (0 = on the free list)."""
@@ -331,6 +605,7 @@ class PagedKVCache:
             self._tables = wider
         self._tables[row, :len(ids)] = ids
         self._blocks_per_row[row] = len(ids)
+        self._invalidate_ids_memo()
         length = len(full_ids) * self.block_size + tail_keep
         self._row_len[row] = length
         return length
@@ -380,13 +655,16 @@ class PagedKVCache:
 
     def write_token(self, layer: int, k: np.ndarray, v: np.ndarray,
                     positions: np.ndarray,
-                    rows: np.ndarray | None = None
-                    ) -> tuple[np.ndarray, np.ndarray]:
+                    rows: np.ndarray | None = None, gather: bool = True
+                    ) -> tuple[np.ndarray, np.ndarray] | None:
         """Scatter one decode token per batch row at ``positions``.
 
         ``rows`` (a sub-batch of cache rows, the engine's active slots)
         restricts both the writes and the returned gathered context to
         those rows; idle rows then pin no blocks and cost no gather.
+        ``gather=False`` skips the dense context gather entirely and
+        returns ``None`` — the block-resident decode path reads through
+        :meth:`context_blocks` instead.
         """
         row_idx = self._resolve_rows(k, rows)
         if self._heads is None:
@@ -403,6 +681,8 @@ class PagedKVCache:
                                    int(positions.max()) + 1)
         self._row_len[row_idx] = np.maximum(self._row_len[row_idx],
                                             positions + 1)
+        if not gather:
+            return None
         return self._context(layer, rows=None if rows is None else row_idx)
 
     def write_rows(self, layer: int, k: np.ndarray, v: np.ndarray,
@@ -495,13 +775,25 @@ class PagedKVCache:
         """Per-row block ids padded to ``nblk`` columns (pad gathers block
         0 — finite stale data that per-row masks zero out).  ``rows``
         restricts the result to a sub-batch without ever materialising
-        the full-batch matrix."""
+        the full-batch matrix.
+
+        Resolutions are memoised until the next table mutation: block
+        tables are shared across layers, so one decode step resolves
+        its (rows -> ids) matrix once and every layer's read reuses it.
+        """
+        key = (nblk, None if rows is None
+               else np.asarray(rows, dtype=np.int64).tobytes())
+        ids = self._ids_memo.get(key)
+        if ids is not None:
+            return ids
         tables = self._tables if rows is None else self._tables[rows]
         width = tables.shape[1]
         if width >= nblk:
-            return tables[:, :nblk]
-        ids = np.zeros((tables.shape[0], nblk), dtype=np.int64)
-        ids[:, :width] = tables
+            ids = tables[:, :nblk]
+        else:
+            ids = np.zeros((tables.shape[0], nblk), dtype=np.int64)
+            ids[:, :width] = tables
+        self._ids_memo[key] = ids
         return ids
 
     def _context(self, layer: int, rows: np.ndarray | None = None
@@ -517,6 +809,110 @@ class PagedKVCache:
         blocks = pool[ids]  # (batch, nblk, heads, block, head_dim)
         return blocks.transpose(0, 2, 1, 3, 4).reshape(
             batch, self._heads, nblk * self.block_size, self._head_dim)
+
+    def take_read_stats(self) -> KVReadStats:
+        """Return and reset the accumulated :class:`KVReadStats` (the
+        engine snapshots these once per decode step)."""
+        stats = self._read_stats
+        self._read_stats = KVReadStats()
+        return stats
+
+    def _account_read(self, n: int, total: int, operands: int,
+                      chunk_resident: int) -> None:
+        """Book one :meth:`context_blocks` call's logical read bytes.
+
+        ``chunk_resident`` is the finished chunk the caller holds at any
+        moment, whose difference from the dense gather is the copy that
+        never existed concurrently.  Transient scratch is *measured* per
+        chunk step via :meth:`_note_scratch` (actual array sizes, so a
+        regression that materialises something dense shows up).
+        """
+        stats = self._read_stats
+        logical = operands * n * self._heads * total * self._head_dim * 4
+        stats.logical_bytes += logical
+        stats.bytes_not_gathered += max(0, logical - chunk_resident)
+
+    def _note_scratch(self, nbytes: int) -> None:
+        """Record one chunk step's measured transient scratch bytes."""
+        stats = self._read_stats
+        stats.peak_scratch_bytes = max(stats.peak_scratch_bytes, nbytes)
+
+    def context_chunk_pair(self, layer: int, rows: np.ndarray | None = None
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        """Single-chunk K/V read (context fits one chunk window).
+
+        For the FP32 pool the whole-context gather *is* the chunk, so
+        this reuses :meth:`_context` outright — the short-context decode
+        then costs exactly what the pre-change path did, with only the
+        read accounting added.  The quantized override assembles the
+        chunk through the dequant memo instead.
+        """
+        total = self._lengths[layer]
+        row_idx = self._row_index if rows is None \
+            else np.asarray(rows, dtype=np.int64)
+        n = len(row_idx)
+        nblk = _blocks_needed(total, self.block_size)
+        resident = 2 * n * self._heads * nblk * self.block_size \
+            * self._head_dim * 4  # the K and V gathers themselves
+        self._account_read(n, total, 2, chunk_resident=resident)
+        self._read_stats.streamed_bytes += 2 * self._heads \
+            * self._head_dim * 4 * int(np.minimum(self._row_len[row_idx],
+                                                  total).sum())
+        k, v = self._context(layer, rows)
+        self._note_scratch(2 * resident)  # gather temps + merged copies
+        return k, v
+
+    def context_blocks(self, layer: int, rows: np.ndarray | None = None,
+                       kind: str = "k"):
+        """Iterate the rows' context as ``(start, chunk, ...)`` tuples.
+
+        The block-resident decode read: each chunk is a
+        ``(n, heads, width, head_dim)`` float32 gather of up to
+        ``chunk_blocks`` consecutive blocks starting at absolute token
+        position ``start``, with exactly the values :meth:`_context`
+        would place there — but only one chunk is ever resident, so no
+        dense ``(n, heads, total, head_dim)`` copy exists.  ``kind``
+        selects the operand: ``"k"`` or ``"v"`` yield ``(start, chunk)``
+        (block attention's two-pass long-context read), ``"kv"`` yields
+        ``(start, k_chunk, v_chunk)`` in one pass (the short-context
+        fast path pays the iteration bookkeeping once).  The final chunk
+        may extend past the layer's token count; callers slice to
+        ``layer_len``.
+        """
+        total = self._lengths[layer]
+        if total == 0:
+            return
+        bs = self.block_size
+        nblk = _blocks_needed(total, bs)
+        ids = self._block_ids(nblk, rows)
+        pools = {"k": (self._pool_k[layer],), "v": (self._pool_v[layer],),
+                 "kv": (self._pool_k[layer], self._pool_v[layer])}[kind]
+        row_idx = self._row_index if rows is None \
+            else np.asarray(rows, dtype=np.int64)
+        n = ids.shape[0]
+        cb = self.chunk_blocks
+        chunk_resident = len(pools) * n * self._heads * min(cb, nblk) \
+            * bs * self._head_dim * 4
+        self._account_read(n, total, len(pools), chunk_resident)
+        # Streamed bytes count the rows' *real* context tokens (ragged
+        # rows gather padding blocks, but so would a dense gather — and
+        # the gather path's trace counts used-token bytes, so the two
+        # read paths stay comparable in the accelerator projection).
+        self._read_stats.streamed_bytes += len(pools) * self._heads \
+            * self._head_dim * 4 * int(np.minimum(self._row_len[row_idx],
+                                                  total).sum())
+        for b0 in range(0, nblk, cb):
+            sel = ids[:, b0:b0 + cb]
+            chunks = []
+            scratch = 0
+            for pool in pools:
+                blocks = pool[sel]  # (n, c, heads, block, head_dim)
+                chunk = blocks.transpose(0, 2, 1, 3, 4).reshape(
+                    n, self._heads, sel.shape[1] * bs, self._head_dim)
+                scratch += blocks.nbytes + chunk.nbytes
+                chunks.append(chunk)
+            self._note_scratch(scratch)
+            yield (b0 * bs, *chunks)
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -581,7 +977,25 @@ class QuantizedPagedKVCache(PagedKVCache):
 
     ``_blocks_per_row`` counts *quantized* blocks only; the current
     block lives in the write buffer and owns no pool block yet.
+
+    ``dequant_cache_bytes`` budgets the :class:`DequantBlockCache` the
+    block-resident decode reads through (``0`` disables it — every read
+    then re-runs the LUT dequant, exactly the pre-cache behaviour).
     """
+
+    def __init__(self, num_layers: int, batch: int,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 initial_blocks: int | None = None,
+                 max_blocks: int | None = None,
+                 block_decode: bool = True,
+                 chunk_blocks: int = DEFAULT_CHUNK_BLOCKS,
+                 dequant_cache_bytes: int = DEFAULT_DEQUANT_CACHE_BYTES):
+        self.dequant_cache_bytes = dequant_cache_bytes
+        self._dequant: DequantBlockCache | None = None
+        super().__init__(num_layers, batch, block_size=block_size,
+                         initial_blocks=initial_blocks,
+                         max_blocks=max_blocks, block_decode=block_decode,
+                         chunk_blocks=chunk_blocks)
 
     def _setup_layers(self) -> None:
         bs = self.block_size
@@ -599,6 +1013,32 @@ class QuantizedPagedKVCache(PagedKVCache):
                        for _ in range(layers)]
         self._buf_v = [np.zeros(buf_shape, dtype=np.float32)
                        for _ in range(layers)]
+        # Reusable dequant scratch for the dense _context gather, sized
+        # to the high-water (rows x blocks) demand instead of being
+        # reallocated per layer per call.
+        self._ctx_scratch: np.ndarray | None = None
+        if self.dequant_cache_bytes:
+            self._dequant = DequantBlockCache(
+                layers, self._heads, bs, self._head_dim,
+                self.dequant_cache_bytes)
+
+    @property
+    def dequant_cache(self) -> DequantBlockCache | None:
+        """The dequantized-block memo (None when disabled or unused)."""
+        return self._dequant
+
+    def _take_block(self) -> int:
+        block = super()._take_block()
+        # A block leaving the free list is about to be (re)written;
+        # freeing already invalidated it, but stay defensive — a stale
+        # dequant for a recycled id would be silently wrong.
+        if self._dequant is not None:
+            self._dequant.invalidate(block)
+        return block
+
+    def _on_block_freed(self, block: int) -> None:
+        if self._dequant is not None:
+            self._dequant.invalidate(block)
 
     def _grow_layer(self, layer: int, new_total: int) -> None:
         specs = (
@@ -620,6 +1060,13 @@ class QuantizedPagedKVCache(PagedKVCache):
     def _quantize_into(self, layer: int, ids: np.ndarray,
                        k_blocks: np.ndarray, v_blocks: np.ndarray) -> None:
         count = len(ids)
+        if self._dequant is not None:
+            # Payload rewrite: this layer's memoised dequant for these
+            # ids must not survive.  Only this layer's — the same block
+            # id flushes once per layer on a boundary crossing, and the
+            # sibling layers' freshly cached entries stay valid.
+            for block in np.asarray(ids).reshape(-1):
+                self._dequant.invalidate(int(block), layer=layer)
         for payload_pool, scale_pool, data in (
                 (self._payload_k[layer], self._scale_k[layer], k_blocks),
                 (self._payload_v[layer], self._scale_v[layer], v_blocks)):
@@ -725,8 +1172,8 @@ class QuantizedPagedKVCache(PagedKVCache):
 
     def write_token(self, layer: int, k: np.ndarray, v: np.ndarray,
                     positions: np.ndarray,
-                    rows: np.ndarray | None = None
-                    ) -> tuple[np.ndarray, np.ndarray]:
+                    rows: np.ndarray | None = None, gather: bool = True
+                    ) -> tuple[np.ndarray, np.ndarray] | None:
         row_idx = self._resolve_rows(k, rows)
         if self._heads is None:
             self._init_storage(k)
@@ -754,6 +1201,8 @@ class QuantizedPagedKVCache(PagedKVCache):
                                    int(positions.max()) + 1)
         self._row_len[row_idx] = np.maximum(self._row_len[row_idx],
                                             positions + 1)
+        if not gather:
+            return None
         return self._context(layer, rows=None if rows is None else row_idx)
 
     def write_rows(self, layer: int, k: np.ndarray, v: np.ndarray,
@@ -826,12 +1275,18 @@ class QuantizedPagedKVCache(PagedKVCache):
         buffered = row_lens - self._blocks_per_row[row_idx] * bs
         live = np.nonzero(buffered > 0)[0]  # indices into the sub-batch
         current = (row_lens[live] - 1) // bs
+        # The per-(row, block) channel scratch is reused across layers and
+        # steps, sized to the high-water mark; only slots the dequant
+        # below won't overwrite need re-zeroing.
+        if self._ctx_scratch is None or len(self._ctx_scratch) < n * nblk:
+            self._ctx_scratch = np.zeros((n * nblk, self._channels, bs),
+                                         dtype=np.float32)
         out = []
         for payload_pool, scale_pool, buf in (
                 (self._payload_k[layer], self._scale_k[layer], self._buf_k[layer]),
                 (self._payload_v[layer], self._scale_v[layer], self._buf_v[layer])):
-            channels = np.zeros((n * nblk, self._channels, bs),
-                                dtype=np.float32)
+            channels = self._ctx_scratch[:n * nblk]
+            channels[~flat_owned] = 0.0
             if selected.size:
                 channels[flat_owned] = dequantize_kv_channels(
                     payload_pool[selected].reshape(-1, self._payload_bytes),
@@ -843,9 +1298,146 @@ class QuantizedPagedKVCache(PagedKVCache):
             # Overlay each live row's FP32 current block (exact values for
             # the newest <= block_size tokens).
             blocks[live, current] = buf[row_idx[live]]
-            out.append(blocks.transpose(0, 2, 1, 3, 4).reshape(
-                n, self._heads, nblk * bs, self._head_dim)[:, :, :total])
+            # The output must not alias the scratch (the V pass reuses
+            # it): for nblk > 1 the axis-merging reshape copies anyway,
+            # but a single-block context reshapes as a view, so force
+            # the copy (a no-op whenever reshape already copied).
+            merged = np.ascontiguousarray(
+                blocks.transpose(0, 2, 1, 3, 4).reshape(
+                    n, self._heads, nblk * bs, self._head_dim))
+            out.append(merged[:, :, :total])
         return out[0], out[1]
+
+    def _dequant_kind(self, layer: int, ids: np.ndarray, kind: str
+                      ) -> np.ndarray:
+        """Dequantize pool blocks ``ids`` of one layer/operand into
+        ``(len(ids), heads, block, head_dim)`` float32 — the exact values
+        (and op order) the dense :meth:`_context` gather produces."""
+        payload_pool = (self._payload_k if kind == "k"
+                        else self._payload_v)[layer]
+        scale_pool = (self._scale_k if kind == "k" else self._scale_v)[layer]
+        channels = dequantize_kv_channels(
+            payload_pool[ids].reshape(-1, self._payload_bytes),
+            scale_pool[ids].reshape(-1), self.block_size)
+        return channels.reshape(len(ids), self._heads, self._head_dim,
+                                self.block_size).transpose(0, 1, 3, 2)
+
+    def _dequant_pair(self, layer: int, ids: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """K and V dequantized together (a dequant-cache miss fills both,
+        so the sibling operand pass hits)."""
+        return (self._dequant_kind(layer, ids, "k"),
+                self._dequant_kind(layer, ids, "v"))
+
+    def context_chunk_pair(self, layer: int, rows: np.ndarray | None = None
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        """Single-chunk K/V read through the dequant memo (the quantized
+        short-context decode keeps the once-per-step dequant reuse)."""
+        total = self._lengths[layer]
+        window = self.chunk_blocks * self.block_size
+        if total > window:
+            raise ValueError(f"context of {total} tokens exceeds the "
+                             f"{window}-token chunk window; iterate "
+                             "context_blocks instead")
+        iterator = self.context_blocks(layer, rows=rows, kind="kv")
+        _start, k_chunk, v_chunk = next(iterator)
+        iterator.close()
+        return k_chunk[:, :, :total], v_chunk[:, :, :total]
+
+    def context_blocks(self, layer: int, rows: np.ndarray | None = None,
+                       kind: str = "k"):
+        """Chunked context iteration in the quantized format.
+
+        Owned blocks are served from the :class:`DequantBlockCache`
+        (missing ones dequantize once and are memoised — a block shared
+        by many rows decodes once per chunk, and once *ever* while it
+        stays cache-resident); each live row's FP32 current block is
+        overlaid exactly as in :meth:`_context`, so chunk values are
+        bit-identical to the dense gather's.  ``kind="kv"`` assembles
+        both operands per chunk, resolving ownership and block-id
+        uniqueness once.
+        """
+        total = self._lengths[layer]
+        if total == 0:
+            return
+        bs = self.block_size
+        heads, head_dim = self._heads, self._head_dim
+        kinds = ("k", "v") if kind == "kv" else (kind,)
+        nblk = _blocks_needed(total, bs)
+        row_idx = self._row_index if rows is None \
+            else np.asarray(rows, dtype=np.int64)
+        n = len(row_idx)
+        ids = self._block_ids(nblk, rows)
+        owned_counts = self._blocks_per_row[row_idx]
+        row_lens = self._row_len[row_idx]
+        live = (row_lens - owned_counts * bs) > 0
+        current = np.where(live, (row_lens - 1) // bs, -1)
+        bufs = {"k": self._buf_k[layer], "v": self._buf_v[layer]}
+        stats = self._read_stats
+        cb = self.chunk_blocks
+        chunk_resident = len(kinds) * n * heads * min(cb, nblk) * bs \
+            * head_dim * 4
+        self._account_read(n, total, len(kinds), chunk_resident)
+        qblock_bytes = 2 * self._channels * (self._payload_bytes + 2)
+        for b0 in range(0, nblk, cb):
+            c = min(cb, nblk - b0)
+            scratch = 0
+            sel_owned = np.arange(b0, b0 + c)[None, :] < owned_counts[:, None]
+            full = sel_owned.size > 0 and bool(sel_owned.all())
+            reads = n * c if full else int(sel_owned.sum())
+            if reads:
+                sel_ids = np.asarray(ids[:, b0:b0 + c]).reshape(-1) if full \
+                    else np.asarray(ids[:, b0:b0 + c])[sel_owned]
+            in_chunk = np.nonzero((current >= b0) & (current < b0 + c))[0]
+            chunks = []
+            for kd in kinds:
+                if reads:
+                    if self._dequant is not None:
+                        vals, missed, paired = self._dequant.lookup(
+                            layer, sel_ids, kd,
+                            lambda miss: self._dequant_pair(layer, miss),
+                            lambda miss, _kd=kd:
+                                self._dequant_kind(layer, miss, _kd))
+                        stats.dequant_hits += reads - missed
+                        stats.dequant_misses += missed
+                        # Paired misses fetched K and V payloads at once
+                        # (the sibling pass will hit); degraded ones
+                        # fetched only this operand's half.
+                        stats.streamed_bytes += paired * qblock_bytes \
+                            + (missed - paired) * qblock_bytes // 2
+                    else:
+                        uniq, inverse = np.unique(sel_ids,
+                                                  return_inverse=True)
+                        vals = self._dequant_kind(layer, uniq, kd)[inverse]
+                        stats.dequant_misses += reads
+                        stats.streamed_bytes += len(uniq) * qblock_bytes // 2
+                if full:
+                    # Every (row, slot) of the chunk is an owned block:
+                    # the lookup result in row-major order *is* the
+                    # chunk, no zero-init or scatter needed.
+                    chunk_blocks = vals.reshape(n, c, heads, bs, head_dim)
+                else:
+                    chunk_blocks = np.zeros((n, c, heads, bs, head_dim),
+                                            dtype=np.float32)
+                    if reads:
+                        chunk_blocks[sel_owned] = vals
+                if len(in_chunk):
+                    chunk_blocks[in_chunk, current[in_chunk] - b0] = \
+                        bufs[kd][row_idx[in_chunk]]
+                    # Write-buffer reads stream the live buffered tokens
+                    # (matching used_bytes' FP32 accounting), not the
+                    # whole block's padding.
+                    buffered = (row_lens[in_chunk]
+                                - owned_counts[in_chunk] * bs)
+                    stats.streamed_bytes += int(buffered.sum()) * heads \
+                        * head_dim * 4
+                merged = chunk_blocks.transpose(0, 2, 1, 3, 4).reshape(
+                    n, heads, c * bs, head_dim)
+                scratch += chunk_blocks.nbytes + merged.nbytes \
+                    + (vals.nbytes if reads else 0)
+                chunks.append(merged)
+            self._note_scratch(scratch)
+            yield (b0 * bs, *chunks)
 
     # ------------------------------------------------------------------ #
     # bookkeeping

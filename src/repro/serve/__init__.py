@@ -17,10 +17,11 @@ from repro.serve.scheduler import (SCHEDULERS, FIFOScheduler,
                                    PrefixAffinityScheduler,
                                    PriorityScheduler, RunningInfo, Scheduler,
                                    SchedulerView, get_scheduler)
-from repro.serve.bench import (MemoryPoint, MemoryReport, PrefixPoint,
-                               PrefixReport, StreamLatencyPoint,
-                               StreamLatencyReport, ThroughputPoint,
-                               ThroughputReport, bench_prompts,
+from repro.serve.bench import (DecodePoint, DecodeReport, MemoryPoint,
+                               MemoryReport, PrefixPoint, PrefixReport,
+                               StreamLatencyPoint, StreamLatencyReport,
+                               ThroughputPoint, ThroughputReport,
+                               bench_prompts, decode_point, decode_sweep,
                                engine_throughput, latency_sweep, memory_point,
                                memory_sweep, prefix_prompts, prefix_sweep,
                                sequential_throughput, serve_session,
@@ -32,10 +33,11 @@ __all__ = [
     "apply_top_k_top_p", "PrefixMatch", "PrefixStore", "PrefixStoreStats",
     "SCHEDULERS", "FIFOScheduler", "PrefixAffinityScheduler",
     "PriorityScheduler", "RunningInfo", "Scheduler", "SchedulerView",
-    "get_scheduler", "MemoryPoint", "MemoryReport", "PrefixPoint",
-    "PrefixReport", "StreamLatencyPoint", "StreamLatencyReport",
-    "ThroughputPoint", "ThroughputReport", "bench_prompts",
-    "engine_throughput", "latency_sweep", "memory_point", "memory_sweep",
-    "prefix_prompts", "prefix_sweep", "sequential_throughput",
-    "serve_session", "stream_latency", "throughput_sweep",
+    "get_scheduler", "DecodePoint", "DecodeReport", "MemoryPoint",
+    "MemoryReport", "PrefixPoint", "PrefixReport", "StreamLatencyPoint",
+    "StreamLatencyReport", "ThroughputPoint", "ThroughputReport",
+    "bench_prompts", "decode_point", "decode_sweep", "engine_throughput",
+    "latency_sweep", "memory_point", "memory_sweep", "prefix_prompts",
+    "prefix_sweep", "sequential_throughput", "serve_session",
+    "stream_latency", "throughput_sweep",
 ]

@@ -64,9 +64,20 @@ only the novel suffix is forwarded through the model (copy-on-write when
 a prompt diverges inside a partially-filled shared block).  Preempted
 requests requeue with their progress and restore from whatever shared
 prefix survived.  ``record_trace=True`` keeps a per-decode-step
-:class:`StepTrace` of (rows, tokens, KV bytes) that
-``repro.hw.workloads.project_decode_trace`` projects onto the paper's
-accelerator cycle model.
+:class:`StepTrace` of (rows, tokens, KV bytes, post-cache KV bytes
+streamed) that ``repro.hw.workloads.project_decode_trace`` projects
+onto the paper's accelerator cycle model.
+
+Single-token decode on the paged backends is *block-resident*
+(``block_decode=True``): attention iterates the block table chunk by
+chunk (:mod:`repro.nn.block_attention`) instead of gathering a dense
+``(batch, heads, total, head_dim)`` context copy per layer per step,
+and the ``"fineq"`` backend serves chunk reads through a
+dequantized-block LRU (``dequant_cache_bytes``) so an immutable
+quantized block — a shared system prompt especially — is LUT-decoded
+once instead of ``batch x layers x steps`` times.  :class:`EngineStats`
+tracks the peak decode scratch, the dense-copy bytes never built, and
+the dequant-cache hit rate.
 """
 
 from __future__ import annotations
@@ -246,6 +257,16 @@ class EngineStats:
     kv_peak_used_bytes: int = 0
     kv_peak_physical_bytes: int = 0
     kv_peak_allocated_bytes: int = 0
+    # Decode read path: the largest transient K/V scratch any decode
+    # step materialised (the block-resident path keeps this a chunk, not
+    # the dense (batch, heads, total, head_dim) gather — on the gather
+    # path it records that dense copy), the cumulative dense-copy bytes
+    # the block path never built, and the quantized cache's
+    # dequant-block memo traffic.
+    decode_peak_scratch_bytes: int = 0
+    decode_bytes_not_gathered: int = 0
+    dequant_cache_hits: int = 0
+    dequant_cache_misses: int = 0
 
     @property
     def prefill_tokens_per_s(self) -> float:
@@ -277,19 +298,32 @@ class EngineStats:
         """Fraction of submitted prompt tokens served from cached prefixes."""
         return self.shared_prompt_tokens / self.prompt_tokens if self.prompt_tokens else 0.0
 
+    @property
+    def dequant_cache_hit_rate(self) -> float:
+        """Fraction of quantized-block decode reads served from the
+        dequant memo instead of re-running LUT dequantization."""
+        lookups = self.dequant_cache_hits + self.dequant_cache_misses
+        return self.dequant_cache_hits / lookups if lookups else 0.0
+
 
 class StepTrace(NamedTuple):
     """One decode step's workload, for accelerator projection.
 
-    ``kv_bytes`` is what the step's attention gathers actually stream
-    from cache storage (logical bytes: a shared block is read once per
-    reader row).  Tuple-shaped so ``repro.hw.workloads`` can consume
-    traces without importing the serving engine.
+    ``kv_bytes`` is what the step's attention reads cover logically
+    (dense-equivalent bytes: a shared block is read once per reader
+    row).  ``kv_bytes_streamed`` is what the step actually fetched from
+    cache storage after the dequant-block memo — quantized payloads for
+    misses and FP32 write-buffer reads, with hits streaming nothing —
+    so the accelerator projection credits the dequant reuse (``-1``
+    means "same as ``kv_bytes``", the gather path).  Tuple-shaped so
+    ``repro.hw.workloads`` can consume traces without importing the
+    serving engine.
     """
 
     rows: int
     tokens: int
     kv_bytes: int
+    kv_bytes_streamed: int = -1
 
 
 @dataclass
@@ -382,6 +416,14 @@ class GenerationEngine:
     record_trace:
         Append a :class:`StepTrace` per decode step to ``self.trace``
         for accelerator projection via ``repro.hw.workloads``.
+    block_decode:
+        Route single-token decodes through block-resident attention
+        (:mod:`repro.nn.block_attention`) on the paged backends instead
+        of the dense gather-then-attend path.  ``False`` pins the
+        pre-change gather path (the regression/benchmark baseline).
+    dequant_cache_bytes:
+        Byte budget for the ``"fineq"`` backend's dequantized-block LRU
+        (``0`` disables it; ``None`` keeps the cache default).
     """
 
     def __init__(self, model: TransformerLM, max_batch_size: int = 8,
@@ -393,7 +435,9 @@ class GenerationEngine:
                  prefix_sharing: bool = False,
                  prefix_blocks: int | None = None,
                  max_pool_blocks: int | None = None,
-                 record_trace: bool = False):
+                 record_trace: bool = False,
+                 block_decode: bool = True,
+                 dequant_cache_bytes: int | None = None):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if kv_cache not in KV_CACHE_MODES:
@@ -414,6 +458,8 @@ class GenerationEngine:
         self.prefix_blocks = prefix_blocks
         self.max_pool_blocks = max_pool_blocks
         self.record_trace = record_trace
+        self.block_decode = block_decode
+        self.dequant_cache_bytes = dequant_cache_bytes
         self.trace: list[StepTrace] = []
         self.stats = EngineStats()
         self._queue: deque[_QueueEntry] = deque()
@@ -448,10 +494,15 @@ class GenerationEngine:
         initial_blocks = batch * max(1, self.initial_capacity // self.block_size)
         if self.max_pool_blocks is not None:
             initial_blocks = min(initial_blocks, self.max_pool_blocks)
-        cls = PagedKVCache if self.kv_cache == "paged" else QuantizedPagedKVCache
-        return cls(num_layers, batch=batch, block_size=self.block_size,
-                   initial_blocks=initial_blocks,
-                   max_blocks=self.max_pool_blocks)
+        kwargs = dict(batch=batch, block_size=self.block_size,
+                      initial_blocks=initial_blocks,
+                      max_blocks=self.max_pool_blocks,
+                      block_decode=self.block_decode)
+        if self.kv_cache == "paged":
+            return PagedKVCache(num_layers, **kwargs)
+        if self.dequant_cache_bytes is not None:
+            kwargs["dequant_cache_bytes"] = self.dequant_cache_bytes
+        return QuantizedPagedKVCache(num_layers, **kwargs)
 
     # ------------------------------------------------------------------ #
     # request intake and cancellation
@@ -650,6 +701,26 @@ class GenerationEngine:
         self.stats.decode_tokens += n
         self.stats.decode_steps += 1
         self.stats.decode_slot_steps += batch
+        kv_streamed = -1
+        if isinstance(cache, PagedKVCache):
+            read = cache.take_read_stats()
+            if cache.block_decode and read.logical_bytes:
+                scratch = read.peak_scratch_bytes
+                kv_streamed = read.streamed_bytes
+                self.stats.decode_bytes_not_gathered += \
+                    read.bytes_not_gathered
+                self.stats.dequant_cache_hits += read.dequant_hits
+                self.stats.dequant_cache_misses += read.dequant_misses
+            else:
+                # The gather path (including the FP32 pool's short-
+                # context reads, where one chunk would cover the whole
+                # context anyway) materialises dense K and V copies of
+                # every row's full context, once per layer.
+                config = self.model.config
+                scratch = 2 * n * config.num_heads * total \
+                    * (config.d_model // config.num_heads) * 4
+            self.stats.decode_peak_scratch_bytes = max(
+                self.stats.decode_peak_scratch_bytes, scratch)
 
         self._lengths[active_rows] += 1
         # Tokens and bytes must count the same population: paged caches
@@ -667,8 +738,11 @@ class GenerationEngine:
                 cache.physical_used_bytes()
                 if isinstance(cache, PagedKVCache) else cache.used_bytes())
         if self.record_trace:
-            self.trace.append(StepTrace(rows=n, tokens=n,
-                                        kv_bytes=cache.used_bytes()))
+            kv_bytes = cache.used_bytes()
+            self.trace.append(StepTrace(
+                rows=n, tokens=n, kv_bytes=kv_bytes,
+                kv_bytes_streamed=kv_streamed if kv_streamed >= 0
+                else kv_bytes))
         # The rectangular cache's allocated_bytes is an FP16 projection by
         # default; its buffers (like the paged pools) are really FP32.
         allocated = (cache.allocated_bytes(bytes_per_element=4)

@@ -1,0 +1,181 @@
+"""Block-resident decode attention: chunk values, parity, memoisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.block_attention import block_decode_attention
+from repro.nn.paged_kv_cache import PagedKVCache, QuantizedPagedKVCache
+
+
+HEADS, HEAD_DIM = 2, 8
+
+
+def build_cache(cls, num_layers=2, batch=3, block_size=4, seq=None,
+                chunk_blocks=2, seed=0, **kwargs):
+    """A cache with ragged rows crossing several block boundaries."""
+    rng = np.random.default_rng(seed)
+    cache = cls(num_layers, batch=batch, block_size=block_size,
+                chunk_blocks=chunk_blocks, **kwargs)
+    lens = np.array([seq or 13, 6, 10][:batch])
+    width = int(lens.max())
+    k = rng.standard_normal((batch, HEADS, width, HEAD_DIM)).astype(np.float32)
+    v = rng.standard_normal((batch, HEADS, width, HEAD_DIM)).astype(np.float32)
+    for layer in range(num_layers):
+        cache.write_rows(layer, k, v, np.arange(batch), row_lengths=lens)
+    return cache, rng
+
+
+def concat_chunks(cache, layer, kind, rows=None):
+    total = cache.layer_len(layer)
+    parts = [chunk for _start, chunk in
+             cache.context_blocks(layer, rows=rows, kind=kind)]
+    return np.concatenate(parts, axis=2)[:, :, :total]
+
+
+def reference_attention(q, k, v, kv_mask):
+    """The pre-change gather-path math, op for op."""
+    scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(q.shape[-1]))
+    if kv_mask is not None:
+        scores = scores + kv_mask
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return (exp / exp.sum(axis=-1, keepdims=True)) @ v
+
+
+def length_mask(cache, rows=None):
+    lens = cache._row_len if rows is None else cache._row_len[rows]
+    total = cache.layer_len(0)
+    allow = np.arange(total)[None, :] < lens[:, None]
+    return np.where(allow, 0.0, -np.inf).astype(np.float32)[:, None, None, :]
+
+
+# ---------------------------------------------------------------------- #
+# chunk values match the dense gather bit for bit
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("cls", [PagedKVCache, QuantizedPagedKVCache])
+@pytest.mark.parametrize("kind", ["k", "v"])
+def test_chunks_concatenate_to_gather_context(cls, kind):
+    """context_blocks yields exactly the values _context gathers — the
+    'same dequant values' half of the block-resident parity claim."""
+    cache, _ = build_cache(cls)
+    for layer in range(cache.num_layers):
+        dense = cache._context(layer)[0 if kind == "k" else 1]
+        np.testing.assert_array_equal(concat_chunks(cache, layer, kind),
+                                      dense)
+
+
+@pytest.mark.parametrize("cls", [PagedKVCache, QuantizedPagedKVCache])
+def test_kv_chunks_match_single_kind_passes(cls):
+    """kind="kv" yields the same operand chunks as the two single passes."""
+    cache, _ = build_cache(cls)
+    total = cache.layer_len(0)
+    both = list(cache.context_blocks(0, kind="kv"))
+    k_joint = np.concatenate([k for _s, k, _v in both], axis=2)[:, :, :total]
+    v_joint = np.concatenate([v for _s, _k, v in both], axis=2)[:, :, :total]
+    np.testing.assert_array_equal(k_joint, concat_chunks(cache, 0, "k"))
+    np.testing.assert_array_equal(v_joint, concat_chunks(cache, 0, "v"))
+
+
+@pytest.mark.parametrize("cls", [PagedKVCache, QuantizedPagedKVCache])
+def test_context_chunk_pair_matches_gather(cls):
+    cache, _ = build_cache(cls, chunk_blocks=8)  # whole context, one chunk
+    k, v = cache.context_chunk_pair(0)
+    want_k, want_v = cache._context(0)
+    np.testing.assert_array_equal(k, want_k)
+    np.testing.assert_array_equal(v, want_v)
+
+
+def test_chunks_respect_row_subsets():
+    cache, _ = build_cache(QuantizedPagedKVCache)
+    rows = np.array([0, 2])
+    dense_k, _ = cache._context(0, rows=rows)
+    np.testing.assert_array_equal(concat_chunks(cache, 0, "k", rows=rows),
+                                  dense_k)
+
+
+# ---------------------------------------------------------------------- #
+# attention output parity with the pre-change path
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("cls", [PagedKVCache, QuantizedPagedKVCache])
+def test_single_chunk_attention_bit_identical(cls):
+    """Contexts inside one chunk window reproduce the gather path's
+    output bit for bit (same values, same op order, same matmuls)."""
+    cache, rng = build_cache(cls, chunk_blocks=4)  # 16-token window >= 13
+    q = rng.standard_normal((3, HEADS, 1, HEAD_DIM)).astype(np.float32)
+    kv_mask = length_mask(cache)
+    got = block_decode_attention(q, cache, 0, kv_mask=kv_mask)
+    k, v = cache._context(0)
+    np.testing.assert_array_equal(got, reference_attention(q, k, v, kv_mask))
+
+
+@pytest.mark.parametrize("cls", [PagedKVCache, QuantizedPagedKVCache])
+def test_multi_chunk_attention_matches_gather_reference(cls):
+    """Beyond one chunk the scores/probabilities stay bit-identical and
+    the streamed value accumulation agrees to accumulation rounding."""
+    cache, rng = build_cache(cls, seq=29, chunk_blocks=2)
+    q = rng.standard_normal((3, HEADS, 1, HEAD_DIM)).astype(np.float32)
+    kv_mask = length_mask(cache)
+    for layer in range(cache.num_layers):
+        got = block_decode_attention(q, cache, layer, kv_mask=kv_mask)
+        k, v = cache._context(layer)
+        want = reference_attention(q, k, v, kv_mask)
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-6)
+        # The score path itself is exact: masked positions contribute
+        # exact zeros, so fully-masked tail slots cannot perturb rows.
+        assert np.isfinite(got).all()
+
+
+def test_multi_chunk_scores_bit_identical_to_dense():
+    """The per-chunk q @ kᵀ reduction equals the dense matmul exactly."""
+    cache, rng = build_cache(PagedKVCache, seq=29, chunk_blocks=2)
+    q = rng.standard_normal((3, HEADS, 1, HEAD_DIM)).astype(np.float32)
+    total = cache.layer_len(0)
+    chunks = []
+    for start, k_chunk in cache.context_blocks(0, kind="k"):
+        width = min(k_chunk.shape[2], total - start)
+        chunks.append(q @ k_chunk[:, :, :width].transpose(0, 1, 3, 2))
+    k_dense, _ = cache._context(0)
+    np.testing.assert_array_equal(np.concatenate(chunks, axis=-1),
+                                  q @ k_dense.transpose(0, 1, 3, 2))
+
+
+def test_write_token_gather_false_returns_none():
+    cache, rng = build_cache(PagedKVCache)
+    k = rng.standard_normal((3, HEADS, 1, HEAD_DIM)).astype(np.float32)
+    positions = cache._row_len.copy()
+    assert cache.write_token(0, k, k.copy(), positions, gather=False) is None
+    got_k, _ = cache._context(0)
+    np.testing.assert_array_equal(
+        got_k[np.arange(3), :, positions], k[:, :, 0])
+
+
+# ---------------------------------------------------------------------- #
+# per-step block-id memoisation (shared tables resolved once per step)
+# ---------------------------------------------------------------------- #
+def test_block_ids_memoised_across_layers_until_table_mutation():
+    cache, rng = build_cache(PagedKVCache)
+    nblk = -(-cache.layer_len(0) // cache.block_size)
+    first = cache._block_ids(nblk)
+    assert cache._block_ids(nblk) is first  # layer 2..N reuse layer 1's
+    rows = np.array([0, 2])
+    sub = cache._block_ids(nblk, rows)
+    assert cache._block_ids(nblk, rows) is sub
+    # Crossing a block boundary (new block allocated) must invalidate.
+    k = rng.standard_normal((1, HEADS, 1, HEAD_DIM)).astype(np.float32)
+    cache.write_token(0, k, k.copy(), np.array([16]),
+                      rows=np.array([0]), gather=False)
+    assert cache._block_ids(nblk + 1) is not first
+    ids = cache._block_ids(nblk + 1)
+    np.testing.assert_array_equal(ids[:, :nblk], np.asarray(first))
+
+
+def test_block_ids_memo_invalidated_on_free_and_adopt():
+    cache, _ = build_cache(PagedKVCache)
+    nblk = -(-cache.layer_len(0) // cache.block_size)
+    first = cache._block_ids(nblk)
+    shared = cache.share_block(0, 0, cache.block_size)
+    cache.free_rows(np.array([1]))
+    assert cache._block_ids(nblk) is not first
+    again = cache._block_ids(nblk)
+    cache.adopt_prefix(1, [shared])
+    assert cache._block_ids(nblk) is not again
