@@ -7,11 +7,13 @@ matmuls.  Embeddings and the LM head stay on the host in both designs
 (they are not quantized), matching the paper's quantization surface.
 
 :func:`project_decode_trace` closes the loop with the serving engine: a
-session run with ``record_trace=True`` produces per-decode-step
-``(rows, tokens, kv_bytes)`` tuples, and the adapter replays each step's
-linear layers through the six-stage cycle model (decode GEMMs have
-``N = batch rows``) plus the step's KV-cache traffic over the DMA lane,
-projecting measured decode tokens/sec onto the paper's accelerator.
+session run with ``record_trace=True`` produces per-step
+``(rows, tokens, kv_bytes, ...)`` tuples — decode steps (one token per
+row) and prefill-chunk steps (a ragged multi-token chunk wave) alike —
+and the adapter replays each step's linear layers through the six-stage
+cycle model (GEMMs have ``N = tokens forwarded``, which for decode *is*
+the batch width) plus the step's KV-cache traffic over the DMA lane,
+projecting measured serving tokens/sec onto the paper's accelerator.
 """
 
 from __future__ import annotations
@@ -121,11 +123,12 @@ class DecodeProjection:
 
 def decode_step_cycles(config: ModelConfig, batch: int, design: str,
                        pipeline=None) -> int:
-    """Pipeline cycles for one decode step of ``batch`` rows.
+    """Pipeline cycles for one serving step forwarding ``batch`` tokens.
 
     A decode step runs every quantized GEMM with ``N = batch`` (one
-    token per row), so the whole forward is ``model_gemms(seq_len =
-    batch)`` through :func:`repro.hw.cycle_model.simulate_gemm`.
+    token per row; a prefill-chunk step passes its granted token count
+    instead), so the whole forward is ``model_gemms(seq_len = batch)``
+    through :func:`repro.hw.cycle_model.simulate_gemm`.
     """
     # Imported lazily: cycle_model imports GEMMShape from this module.
     from repro.hw.cycle_model import PipelineConfig, simulate_gemm
@@ -142,28 +145,32 @@ def project_decode_trace(config: ModelConfig,
     """Project a serving-engine decode trace onto the accelerator.
 
     ``trace`` is an iterable of per-step ``(rows, tokens, kv_bytes[,
-    kv_bytes_streamed])`` records (the engine's ``StepTrace`` tuples).
-    When a step carries the fourth field (non-negative), that is the
-    *post-dequant-cache* byte count the block-resident decode actually
-    fetched from cache storage — the DMA lane is charged with it instead
-    of the logical gather bytes, so the projection credits reuse of
-    memoised dequantized blocks.  Steps with equal batch width share one
-    cycle simulation, so long traces stay cheap.
+    kv_bytes_streamed[, prefill_tokens]])`` records (the engine's
+    ``StepTrace`` tuples).  A step's linear layers run with ``N =
+    tokens`` — the batch width on decode steps, the granted chunk tokens
+    on prefill-chunk steps — so chunked prefill work is charged at its
+    real GEMM width.  When a step carries the fourth field
+    (non-negative), that is the *post-dequant-cache* byte count the
+    block-resident read actually fetched from cache storage — the DMA
+    lane is charged with it instead of the logical gather bytes, so the
+    projection credits reuse of memoised dequantized blocks.  Steps with
+    equal token width share one cycle simulation, so long traces stay
+    cheap.
     """
     from repro.hw.cycle_model import PipelineConfig
 
     pipeline = pipeline or PipelineConfig()
-    cycles_by_batch: dict[int, int] = {}
+    cycles_by_width: dict[int, int] = {}
     steps = tokens = compute = kv_bytes_total = 0
     for record in trace:
         rows, step_tokens, kv_bytes = (int(record[0]), int(record[1]),
                                        int(record[2]))
         if len(record) > 3 and int(record[3]) >= 0:
             kv_bytes = int(record[3])
-        if rows not in cycles_by_batch:
-            cycles_by_batch[rows] = decode_step_cycles(config, rows, design,
-                                                       pipeline)
-        compute += cycles_by_batch[rows]
+        if step_tokens not in cycles_by_width:
+            cycles_by_width[step_tokens] = decode_step_cycles(
+                config, step_tokens, design, pipeline)
+        compute += cycles_by_width[step_tokens]
         kv_bytes_total += kv_bytes
         tokens += step_tokens
         steps += 1

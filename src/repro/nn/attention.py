@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import Tensor, functional as F
-from repro.nn.block_attention import block_decode_attention
+from repro.nn.block_attention import (block_decode_attention,
+                                      block_prefill_attention)
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.nn.rope import RotaryEmbedding
@@ -113,6 +114,21 @@ class MultiHeadAttention(Module):
 
         if cache is not None:
             if cache_rows is not None and cache_starts is not None:
+                if hasattr(cache, "context_blocks"):
+                    # Paged caches (FP32 or quantized) run prefill over
+                    # the same block-resident read as decode: write the
+                    # span without a context gather, then attend the
+                    # chunk grid.  Quantized prefill re-reads thereby
+                    # hit the shared dequant memo.
+                    cache.prefill_rows(layer_index, k.data, v.data,
+                                       cache_rows, cache_starts, cache_lens,
+                                       gather=False)
+                    context = block_prefill_attention(
+                        q.data, cache, layer_index, kv_mask=kv_mask,
+                        rows=cache_rows)
+                    merged = Tensor(context).transpose(0, 2, 1, 3) \
+                                            .reshape(batch, seq, self.d_model)
+                    return self.wo(merged)
                 k_data, v_data = cache.prefill_rows(layer_index, k.data,
                                                     v.data, cache_rows,
                                                     cache_starts, cache_lens)

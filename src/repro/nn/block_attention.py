@@ -1,4 +1,4 @@
-"""Block-resident single-token decode attention for paged KV caches.
+"""Block-resident attention reads for paged KV caches (decode + prefill).
 
 The pre-change decode read gathered every row's whole context into a
 dense ``(batch, heads, total, head_dim)`` copy per layer per step (and,
@@ -20,6 +20,20 @@ default) that too is the identical monolithic matmul, and beyond it the
 summation tree differs only in final-ulp rounding.  The quantized
 cache's chunks read through its dequant-block memo, so a hot block is
 dequantized once per step across all readers instead of per row.
+
+:func:`block_prefill_attention` extends the same read to multi-query
+prefill chunks: the engine's chunked prefill writes a span of prompt
+tokens and attends them over the full context through the identical
+``context_blocks`` iteration, so prefill and decode share one read path
+(and the quantized cache's dequant memo serves prefill re-reads too).
+Its score/value geometry is *chunk-grid stable*: every chunk is padded
+to the full ``chunk_blocks * block_size`` window, the softmax
+denominator accumulates fixed-width per-window partial sums, and the
+value GEMMs are always window-wide — so the same query runs
+bit-identical accumulation trees whatever the surrounding context
+width, which is what makes chunked prefill match one-shot prefill
+(padded positions carry exactly-zero probabilities and contribute
+exact zeros).
 """
 
 from __future__ import annotations
@@ -103,4 +117,101 @@ def block_decode_attention(q: np.ndarray, cache, layer_index: int,
                                                kind="v"):
         width = min(v_chunk.shape[2], total - start)
         context += probs[..., start:start + width] @ v_chunk[:, :, :width]
+    return context
+
+
+def _pad_chunk(chunk: np.ndarray, width: int) -> np.ndarray:
+    """Zero-pad a ``(n, heads, w, head_dim)`` chunk to ``width`` keys."""
+    if chunk.shape[2] >= width:
+        return chunk
+    n, heads, w, head_dim = chunk.shape
+    padded = np.zeros((n, heads, width, head_dim), dtype=chunk.dtype)
+    padded[:, :, :w] = chunk
+    return padded
+
+
+def block_prefill_attention(q: np.ndarray, cache, layer_index: int,
+                            kv_mask: np.ndarray | None = None,
+                            rows: np.ndarray | None = None) -> np.ndarray:
+    """Multi-query prefill attention over a paged cache, chunk by chunk.
+
+    Parameters
+    ----------
+    q:
+        ``(n, heads, seq, head_dim)`` float32 queries — one prefill
+        chunk per (sub-batch) row, already rotated.  The chunk's K/V
+        must already be written (``prefill_rows`` with ``gather=False``).
+    cache:
+        A paged cache exposing ``context_blocks``/``layer_len`` (see
+        :class:`repro.nn.paged_kv_cache.PagedKVCache`).
+    kv_mask:
+        Additive ``(n, 1, seq, total)`` per-row causal mask (the
+        engine's suffix-prefill mask).  ``None`` allows every written
+        position (queries then attend the whole context below
+        ``layer_len``).
+    rows:
+        Cache rows behind ``q``'s entries (``None`` = all rows).
+
+    Returns the ``(n, heads, seq, head_dim)`` float32 context.
+
+    Numerics: scores reduce over ``head_dim`` exactly like the dense
+    matmul, so they are bit-identical to the gather path's.  Softmax
+    and the value contraction run at *chunk-grid* geometry — every
+    chunk padded to the ``chunk_blocks * block_size`` window, the
+    softmax denominator accumulated window by window, the value GEMMs
+    always window-wide — so a given query's reduction trees do not
+    depend on how much context happens to sit in the cache beyond what
+    its mask allows.  Padded/masked positions exponentiate to exact
+    zeros and contribute exact zero partial sums and products, which is
+    what keeps a prompt position's attention output identical whether
+    its chunk was forwarded alone (chunked prefill) or as part of the
+    whole prompt (one-shot prefill).
+    """
+    n, heads, seq, head_dim = q.shape
+    total = cache.layer_len(layer_index)
+    window = cache.chunk_blocks * cache.block_size
+    grid = max(window, -(-total // window) * window)
+    if kv_mask is None:
+        kv_mask = np.where(np.arange(grid) < total, 0.0,
+                           -np.inf).astype(np.float32)[None, None, None, :]
+    elif kv_mask.shape[-1] < grid:
+        pad_shape = kv_mask.shape[:-1] + (grid - kv_mask.shape[-1],)
+        kv_mask = np.concatenate(
+            [kv_mask, np.full(pad_shape, -np.inf, dtype=np.float32)],
+            axis=-1)
+
+    # Pass 1: scores over the padded chunk grid.  Chunk starts are
+    # window-aligned, so padding each chunk to the window pads the
+    # assembled scores to exactly ``grid`` columns.
+    score_chunks = []
+    for start, k_chunk in cache.context_blocks(layer_index, rows=rows,
+                                               kind="k"):
+        k_chunk = _pad_chunk(k_chunk, window)
+        score_chunks.append(q @ k_chunk.transpose(0, 1, 3, 2))
+
+    # Scale/mask/shift/exp exactly like :func:`_softmax_probs`, but
+    # normalise with a *window-blocked* denominator: every window's
+    # partial sum runs the fixed width-``window`` reduction tree and the
+    # partials accumulate sequentially, so a row's normaliser does not
+    # depend on the grid width at all — windows beyond the row's masked
+    # context hold exact zeros and add exact zeros.  A plain
+    # ``exp.sum(-1)`` would re-shape its pairwise summation tree with the
+    # grid, leaking *other* rows' context lengths into this row's ulps
+    # (the grid tracks the cache-wide maximum, which a chunked and a
+    # one-shot run grow on different step schedules).
+    scores = np.concatenate(score_chunks, axis=-1) * (1.0 / np.sqrt(head_dim))
+    scores = scores + kv_mask
+    exp = np.exp(scores - scores.max(axis=-1, keepdims=True))
+    denom = np.zeros(exp.shape[:-1], dtype=np.float32)
+    for w in range(0, grid, window):
+        denom += exp[..., w:w + window].sum(axis=-1)
+    probs = exp / denom[..., None]
+
+    # Pass 2: stream the value chunks back through the softmax weights
+    # at full window width (masked positions hold exactly-zero weights).
+    context = np.zeros((n, heads, seq, head_dim), dtype=np.float32)
+    for start, v_chunk in cache.context_blocks(layer_index, rows=rows,
+                                               kind="v"):
+        v_chunk = _pad_chunk(v_chunk, window)
+        context += probs[..., start:start + window] @ v_chunk
     return context

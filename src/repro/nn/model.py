@@ -87,7 +87,10 @@ class TransformerLM(Module):
         vocab)``, so prefill cost stops scaling with ``vocab x seq``.
         Generation only ever samples from one position per row — the rest
         of the ``(batch, seq, vocab)`` logits would be computed and
-        discarded.  Inference-only: the gather detaches from autograd.
+        discarded.  A *negative* entry skips the head for that row
+        entirely (its logits return as zeros): chunked prefill forwards
+        mid-prompt chunks whose rows sample nothing this step.
+        Inference-only: the gather detaches from autograd.
         """
         tokens = np.asarray(tokens)
         if tokens.ndim == 1:
@@ -99,8 +102,16 @@ class TransformerLM(Module):
                       cache_lens=cache_lens, cache_starts=cache_starts,
                       decode_rows=decode_rows)
         if logits_positions is not None:
-            rows = np.arange(x.shape[0])
             last = np.asarray(logits_positions, dtype=np.int64)
+            keep = np.flatnonzero(last >= 0)
+            if len(keep) < len(last):
+                logits = np.zeros((x.shape[0], 1, self.config.vocab_size),
+                                  dtype=np.float32)
+                if len(keep):
+                    picked = Tensor(x.data[keep, last[keep]][:, None])
+                    logits[keep] = self.head(self.final_norm(picked)).data
+                return Tensor(logits)
+            rows = np.arange(x.shape[0])
             x = Tensor(x.data[rows, last][:, None])
         return self.head(self.final_norm(x))
 

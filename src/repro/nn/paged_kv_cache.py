@@ -716,18 +716,23 @@ class PagedKVCache:
 
     def prefill_rows(self, layer: int, k: np.ndarray, v: np.ndarray,
                      rows: np.ndarray, starts: np.ndarray,
-                     row_lengths: np.ndarray
-                     ) -> tuple[np.ndarray, np.ndarray]:
+                     row_lengths: np.ndarray, gather: bool = True
+                     ) -> tuple[np.ndarray, np.ndarray] | None:
         """Write per-row suffix spans and return the gathered context.
 
-        The prefix-sharing prefill: row ``j`` already holds ``starts[j]``
-        context tokens (adopted shared blocks), and ``k``/``v`` carry its
-        next ``row_lengths[j]`` tokens (right-padded to a common width).
+        The suffix/chunked prefill: row ``j`` already holds ``starts[j]``
+        context tokens (adopted shared blocks, or spans written by
+        earlier prefill chunks), and ``k``/``v`` carry its next
+        ``row_lengths[j]`` tokens (right-padded to a common width).
         Writes land at absolute positions ``starts[j] ..
         starts[j] + row_lengths[j] - 1`` — continuing a partially-filled
         block in place when the span starts mid-block — and the returned
         arrays gather each row's full context (shared prefix + new
         suffix), which is what suffix attention needs to read.
+        ``gather=False`` skips the dense context gather and returns
+        ``None`` — the block-resident prefill path reads through
+        :func:`repro.nn.block_attention.block_prefill_attention`
+        (:meth:`context_blocks`) instead.
         """
         if self._heads is None:
             self._init_storage(k)
@@ -738,6 +743,8 @@ class PagedKVCache:
         totals = starts + lens
         self._lengths[layer] = max(self._lengths[layer], int(totals.max()))
         self._row_len[rows] = np.maximum(self._row_len[rows], totals)
+        if not gather:
+            return None
         return self._context(layer, rows=rows)
 
     def _write_span(self, layer: int, k: np.ndarray, v: np.ndarray,
@@ -1140,17 +1147,22 @@ class QuantizedPagedKVCache(PagedKVCache):
     def _write_span(self, layer: int, k: np.ndarray, v: np.ndarray,
                     rows: np.ndarray, starts: np.ndarray,
                     lens: np.ndarray) -> None:
-        """Span writes under the decode discipline: every block — the
-        final, possibly partial one included — passes through the FP32
-        write buffer, and only blocks *strictly before* the final one are
-        quantized (when the span moves past them, exactly like a decode
-        crossing).  The newest ``<= block_size`` tokens therefore read
-        back bit-exact after a prefill, same as after decode."""
+        """Span writes pass every block — the final, possibly partial
+        one included — through the FP32 write buffer, and quantize each
+        block the moment the span completes it.  Only a ragged tail
+        (``end`` off a block boundary) stays buffered, so it reads back
+        bit-exact after a prefill, same as after decode.
+
+        The eager flush at the span's end is what keeps *chunked*
+        prefill bit-identical to one-shot: a chunk ending exactly on a
+        block boundary must leave the same storage state (block
+        quantized) the one-shot span produces when it rolls past that
+        boundary — otherwise the next chunk's attention would read the
+        block exact FP32 where the one-shot run reads it dequantized."""
         bs = self.block_size
         flush_ids, flush_k, flush_v = [], [], []
         for j, row in enumerate(rows):
             s, end = int(starts[j]), int(starts[j] + lens[j])
-            last_start = ((end - 1) // bs) * bs  # block left in the buffer
             pos = s
             while pos < end:
                 block, lo = pos // bs, pos % bs
@@ -1160,7 +1172,7 @@ class QuantizedPagedKVCache(PagedKVCache):
                 self._buf_v[layer][row, :, lo:lo + take] = \
                     v[j, :, pos - s:pos - s + take]
                 pos += take
-                if pos <= last_start:  # completed a non-final block
+                if pos % bs == 0:  # completed this block: quantize it
                     self._ensure_row_blocks(np.array([row]),
                                             np.array([block + 1]))
                     flush_ids.append(int(self._tables[row, block]))

@@ -18,14 +18,17 @@ from repro.serve.scheduler import (SCHEDULERS, FIFOScheduler,
                                    PriorityScheduler, RunningInfo, Scheduler,
                                    SchedulerView, get_scheduler)
 from repro.serve.bench import (DecodePoint, DecodeReport, MemoryPoint,
-                               MemoryReport, PrefixPoint, PrefixReport,
+                               MemoryReport, MixedLatencyPoint,
+                               MixedLatencyReport, PrefixPoint, PrefixReport,
                                StreamLatencyPoint, StreamLatencyReport,
                                ThroughputPoint, ThroughputReport,
                                bench_prompts, decode_point, decode_sweep,
                                engine_throughput, latency_sweep, memory_point,
-                               memory_sweep, prefix_prompts, prefix_sweep,
-                               sequential_throughput, serve_session,
-                               stream_latency, throughput_sweep)
+                               memory_sweep, mixed_latency_sweep,
+                               mixed_traffic_session, prefix_prompts,
+                               prefix_sweep, sequential_throughput,
+                               serve_session, stream_latency,
+                               throughput_sweep)
 
 __all__ = [
     "Completion", "EngineStats", "FINISH_REASONS", "GenerationEngine",
@@ -34,10 +37,11 @@ __all__ = [
     "SCHEDULERS", "FIFOScheduler", "PrefixAffinityScheduler",
     "PriorityScheduler", "RunningInfo", "Scheduler", "SchedulerView",
     "get_scheduler", "DecodePoint", "DecodeReport", "MemoryPoint",
-    "MemoryReport", "PrefixPoint", "PrefixReport", "StreamLatencyPoint",
-    "StreamLatencyReport", "ThroughputPoint", "ThroughputReport",
-    "bench_prompts", "decode_point", "decode_sweep", "engine_throughput",
-    "latency_sweep", "memory_point", "memory_sweep", "prefix_prompts",
-    "prefix_sweep", "sequential_throughput", "serve_session",
-    "stream_latency", "throughput_sweep",
+    "MemoryReport", "MixedLatencyPoint", "MixedLatencyReport", "PrefixPoint",
+    "PrefixReport", "StreamLatencyPoint", "StreamLatencyReport",
+    "ThroughputPoint", "ThroughputReport", "bench_prompts", "decode_point",
+    "decode_sweep", "engine_throughput", "latency_sweep", "memory_point",
+    "memory_sweep", "mixed_latency_sweep", "mixed_traffic_session",
+    "prefix_prompts", "prefix_sweep", "sequential_throughput",
+    "serve_session", "stream_latency", "throughput_sweep",
 ]

@@ -17,14 +17,20 @@ prefill tokens avoided, resident bytes per cached token, decode tok/s,
 and the decode trace projected onto the paper's accelerator.
 ``decode_sweep`` contrasts the block-resident decode read path against
 the pre-change gather path at several context lengths — the fineq
-1024-token point is the asserted block-attention speedup.  Run directly
-for a smoke report on an untrained tiny model (fast enough for CI):
+1024-token point is the asserted block-attention speedup.
+``mixed_latency_sweep`` serves short decoders with long prompts landing
+mid-stream, one-shot vs chunked prefill, and reports the p95
+inter-token latency both ways — the chunked tail improvement (with
+token-identical output) is the asserted chunked-prefill number.  Run
+directly for a smoke report on an untrained tiny model (fast enough
+for CI):
 
     PYTHONPATH=src python -m repro.serve --smoke
     PYTHONPATH=src python -m repro.serve --mem --smoke --json BENCH_serve_mem.json
     PYTHONPATH=src python -m repro.serve --stream --smoke --json BENCH_serve_stream.json
     PYTHONPATH=src python -m repro.serve --prefix --smoke --json BENCH_serve_prefix.json
     PYTHONPATH=src python -m repro.serve --decode --smoke --json BENCH_serve_decode.json
+    PYTHONPATH=src python -m repro.serve --latency --smoke --json BENCH_serve_latency.json
 """
 
 from __future__ import annotations
@@ -671,6 +677,187 @@ def latency_sweep(model: TransformerLM, max_new_tokens: int = 32,
     return StreamLatencyReport(model=model.config.name, points=tuple(points))
 
 
+@dataclass(frozen=True)
+class MixedLatencyPoint:
+    """One mixed-traffic run: cache mode x prefill chunking setting."""
+
+    mode: str                        # "paged" | "fineq"
+    prefill_chunk_tokens: int | None  # None = one-shot prefill
+    batch_size: int
+    num_short: int
+    num_long: int
+    long_prompt_len: int
+    num_events: int
+    mean_inter_token_s: float
+    p95_inter_token_s: float
+    max_inter_token_s: float
+    prefill_chunks: int
+    prefill_tokens_deferred: int
+    prefill_dequant_hit_rate: float
+
+    @property
+    def label(self) -> str:
+        chunk = self.prefill_chunk_tokens
+        return "one-shot" if chunk is None else f"chunk={chunk}"
+
+
+@dataclass(frozen=True)
+class MixedLatencyReport:
+    """One-shot vs chunked prefill under mixed traffic, per cache mode.
+
+    ``tokens_identical`` records whether every request's completed
+    tokens matched between the chunked and one-shot runs of the same
+    mode — chunking is a latency knob, not a numerics knob, and the
+    sweep verifies that claim on every run.
+    """
+
+    model: str
+    max_new_tokens: int
+    prefill_chunk_tokens: int
+    points: tuple[MixedLatencyPoint, ...]
+    tokens_identical: bool
+
+    def point(self, mode: str,
+              chunk: int | None) -> MixedLatencyPoint:
+        for candidate in self.points:
+            if (candidate.mode == mode
+                    and candidate.prefill_chunk_tokens == chunk):
+                return candidate
+        raise KeyError(f"no point for mode={mode!r} chunk={chunk}")
+
+    def p95_ratio(self, mode: str) -> float:
+        """One-shot p95 inter-token seconds over chunked p95 (>1 means
+        chunking improved the tail)."""
+        oneshot = self.point(mode, None)
+        chunked = self.point(mode, self.prefill_chunk_tokens)
+        base = chunked.p95_inter_token_s
+        return oneshot.p95_inter_token_s / base if base else 0.0
+
+    def rows(self) -> list[list[str]]:
+        out = []
+        for p in self.points:
+            better = ("-" if p.prefill_chunk_tokens is None
+                      else f"{self.p95_ratio(p.mode):.1f}x")
+            out.append([p.mode, p.label,
+                        f"{1e3 * p.mean_inter_token_s:,.2f}",
+                        f"{1e3 * p.p95_inter_token_s:,.2f}",
+                        f"{1e3 * p.max_inter_token_s:,.2f}", better,
+                        str(p.prefill_chunks),
+                        f"{p.prefill_dequant_hit_rate:.2f}"])
+        return out
+
+    def to_dict(self) -> dict:
+        points = []
+        for p in self.points:
+            entry = asdict(p)
+            if p.prefill_chunk_tokens is not None:
+                entry["p95_improvement_vs_oneshot"] = self.p95_ratio(p.mode)
+            points.append(entry)
+        return {"model": self.model,
+                "max_new_tokens": self.max_new_tokens,
+                "prefill_chunk_tokens": self.prefill_chunk_tokens,
+                "tokens_identical": self.tokens_identical,
+                "points": points}
+
+
+def mixed_traffic_session(model: TransformerLM, shorts: list[np.ndarray],
+                          longs: list[np.ndarray], max_new_tokens: int,
+                          batch_size: int,
+                          prefill_chunk_tokens: int | None,
+                          kv_cache: str = "paged", block_size: int = 16,
+                          inject_every: int = 2,
+                          **engine_kwargs) -> tuple[GenerationEngine,
+                                                    MixedLatencyPoint,
+                                                    list[tuple[int, ...]]]:
+    """Serve short decoders with long prompts landing mid-stream.
+
+    The short prompts submit up front and start decoding; each long
+    prompt arrives ``inject_every`` steps after the previous one, while
+    the shorts are still streaming — the workload whose tail latency
+    one-shot prefill wrecks (every short waits out the full prompt
+    forward) and chunked prefill bounds (at most a chunk's worth of
+    extra work per step).  Returns the drained engine, the timing
+    point, and every request's completed tokens in submission order
+    (shorts first) so callers can verify chunked/one-shot parity.
+    """
+    engine = GenerationEngine(model, max_batch_size=batch_size,
+                              kv_cache=kv_cache, block_size=block_size,
+                              prefill_chunk_tokens=prefill_chunk_tokens,
+                              **engine_kwargs)
+    ids = [engine.submit(prompt, max_new_tokens) for prompt in shorts]
+    pending = list(longs)
+    last_seen: dict[int, float] = {}
+    gaps: list[float] = []
+    count = step = 0
+    while engine.has_work() or pending:
+        if pending and step >= inject_every * (len(longs)
+                                               - len(pending) + 1):
+            ids.append(engine.submit(pending.pop(0), max_new_tokens))
+        events = engine.step()
+        now = time.perf_counter()
+        step += 1
+        for event in events:
+            count += 1
+            previous = last_seen.get(event.request_id)
+            if previous is not None:
+                gaps.append(now - previous)
+            last_seen[event.request_id] = now
+    done = {c.request_id: tuple(int(t) for t in c.tokens)
+            for c in engine.take_completions()}
+    stats = engine.stats
+    point = MixedLatencyPoint(
+        mode=kv_cache, prefill_chunk_tokens=prefill_chunk_tokens,
+        batch_size=batch_size, num_short=len(shorts), num_long=len(longs),
+        long_prompt_len=max(len(p) for p in longs) if longs else 0,
+        num_events=count,
+        mean_inter_token_s=float(np.mean(gaps)) if gaps else 0.0,
+        p95_inter_token_s=float(np.percentile(gaps, 95)) if gaps else 0.0,
+        max_inter_token_s=float(np.max(gaps)) if gaps else 0.0,
+        prefill_chunks=stats.prefill_chunks,
+        prefill_tokens_deferred=stats.prefill_tokens_deferred,
+        prefill_dequant_hit_rate=stats.prefill_dequant_hit_rate)
+    return engine, point, [done[rid] for rid in ids]
+
+
+def mixed_latency_sweep(model: TransformerLM, batch_size: int = 16,
+                        num_long: int = 2, long_prompt_len: int = 384,
+                        max_new_tokens: int = 24,
+                        prefill_chunk_tokens: int = 128,
+                        modes: tuple[str, ...] = ("paged", "fineq"),
+                        block_size: int = 16,
+                        seed: int = 0) -> MixedLatencyReport:
+    """One-shot vs chunked prefill under mixed traffic, per cache mode.
+
+    ``batch_size - num_long`` short prompts stream while ``num_long``
+    ``long_prompt_len``-token prompts arrive mid-decode; the report
+    carries p95 inter-token latency for both prefill disciplines (the
+    chunked p95 improvement is the asserted serving number) and whether
+    the two runs' completed tokens matched exactly.
+    """
+    rng = np.random.default_rng(seed)
+    vocab = model.config.vocab_size
+    shorts = bench_prompts(vocab, num=batch_size - num_long,
+                           max_prompt_len=12, min_prompt_len=4, seed=seed)
+    longs = [rng.integers(0, vocab, size=long_prompt_len)
+             for _ in range(num_long)]
+    points = []
+    identical = True
+    for mode in modes:
+        outputs = {}
+        for chunk in (None, prefill_chunk_tokens):
+            _engine, point, tokens = mixed_traffic_session(
+                model, shorts, longs, max_new_tokens, batch_size, chunk,
+                kv_cache=mode, block_size=block_size)
+            points.append(point)
+            outputs[chunk] = tokens
+        identical &= outputs[None] == outputs[prefill_chunk_tokens]
+    return MixedLatencyReport(model=model.config.name,
+                              max_new_tokens=max_new_tokens,
+                              prefill_chunk_tokens=prefill_chunk_tokens,
+                              points=tuple(points),
+                              tokens_identical=identical)
+
+
 def main(argv: list[str] | None = None) -> None:
     import argparse
 
@@ -695,6 +882,17 @@ def main(argv: list[str] | None = None) -> None:
                         help="run the decode-path sweep (block-resident vs "
                              "gather reads per cache mode and context "
                              "length) instead of the throughput sweep")
+    parser.add_argument("--latency", action="store_true",
+                        help="run the mixed-traffic latency sweep (one-shot "
+                             "vs chunked prefill p95 inter-token latency "
+                             "while long prompts land mid-decode) instead "
+                             "of the throughput sweep")
+    parser.add_argument("--chunk-tokens", type=int, default=128,
+                        help="prefill chunk budget for --latency "
+                             "(default 128)")
+    parser.add_argument("--long-prompt-len", type=int, default=384,
+                        help="long prompt length for --latency "
+                             "(default 384)")
     parser.add_argument("--context-lens", default=None,
                         help="comma list of context lengths for --decode "
                              "(default 64,256,1024)")
@@ -727,15 +925,63 @@ def main(argv: list[str] | None = None) -> None:
         model = TransformerLM(tiny_config(vocab_size=256, seed=0))
         name = "tiny (untrained)"
 
-    if sum((args.mem, args.stream, args.prefix, args.decode)) > 1:
-        parser.error("--mem, --stream, --prefix, and --decode are separate "
-                     "sweeps; pick one")
+    if sum((args.mem, args.stream, args.prefix, args.decode,
+            args.latency)) > 1:
+        parser.error("--mem, --stream, --prefix, --decode, and --latency "
+                     "are separate sweeps; pick one")
     if args.context_lens and not args.decode:
         parser.error("--context-lens only applies to --decode")
     if args.json and not (args.mem or args.stream or args.prefix
-                          or args.decode):
-        parser.error("--json requires --mem, --stream, --prefix, or "
-                     "--decode (the throughput sweep has no JSON report)")
+                          or args.decode or args.latency):
+        parser.error("--json requires --mem, --stream, --prefix, --decode, "
+                     "or --latency (the throughput sweep has no JSON "
+                     "report)")
+    if args.latency:
+        if args.num_prompts is not None:
+            parser.error("--num-prompts has no effect with --latency (the "
+                         "sweep serves batch-size short prompts plus the "
+                         "injected long ones); use --batch-sizes")
+        batches = (args.batch_sizes or ("8" if args.smoke else "16")) \
+            .split(",")
+        if len(batches) != 1:
+            parser.error("--latency sweeps a single batch size; pass one "
+                         "value to --batch-sizes")
+        batch = int(batches[0])
+        max_new = (args.max_new_tokens if args.max_new_tokens is not None
+                   else (16 if args.smoke else 24))
+        needed = args.long_prompt_len + max_new
+        if model.config.max_seq_len < needed:
+            if args.model:
+                parser.error(f"model {name} caps max_seq_len at "
+                             f"{model.config.max_seq_len}; the sweep needs "
+                             f"{needed} (shrink --long-prompt-len)")
+            # The default tiny model only reaches 128 positions; rebuild
+            # it with a RoPE table long enough for the long prompts.
+            from dataclasses import replace as config_replace
+
+            from repro.models.configs import tiny_config
+            model = TransformerLM(config_replace(
+                tiny_config(vocab_size=256, seed=0,
+                            max_seq_len=max(needed, 128)),
+                name="tiny-long (untrained)"))
+            name = model.config.name
+        report = mixed_latency_sweep(model, batch_size=batch,
+                                     long_prompt_len=args.long_prompt_len,
+                                     max_new_tokens=max_new,
+                                     prefill_chunk_tokens=args.chunk_tokens)
+        print(f"mixed-traffic inter-token latency on {name} (batch {batch}, "
+              f"{args.long_prompt_len}-token long prompts, chunk budget "
+              f"{args.chunk_tokens})")
+        print(format_table(["mode", "prefill", "inter-token ms", "p95 ms",
+                            "max ms", "p95 better", "chunks",
+                            "dequant hit"], report.rows()))
+        print(f"chunked tokens identical to one-shot: "
+              f"{report.tokens_identical}")
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(report.to_dict(), handle, indent=2)
+            print(f"wrote {args.json}")
+        return
     if args.decode:
         if args.num_prompts is not None:
             parser.error("--num-prompts has no effect with --decode (each "

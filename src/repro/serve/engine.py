@@ -55,6 +55,21 @@ longer scales with ``vocab x prompt_len``.  :meth:`GenerationEngine.run`
 and :meth:`GenerationEngine.generate_batch` remain as thin wrappers over
 :meth:`GenerationEngine.step` for batch-oriented callers.
 
+Long prompts need not stall the batch: ``prefill_chunk_tokens`` (128 by
+default; ``None`` restores one-shot prefill) caps the prompt tokens
+forwarded per :meth:`step`.  An admitted long prompt holds its slot in a
+*prefilling* state and writes one chunk per step, decode waves run
+between chunks, and the scheduler's ``prefill_order`` arbitrates the
+step's chunk budget across concurrently-prefilling rows — so under
+mixed traffic the stall a decoding stream sees is bounded by one chunk,
+not one prompt.  Prefill context reads run over the same block-resident
+attention as decode
+(:func:`repro.nn.block_attention.block_prefill_attention`): chunks
+attend the block table window by window, the ``"fineq"`` backend's
+re-reads of already-written context hit the dequant-block memo, and the
+chunk-grid-stable geometry keeps chunked output tokens identical to
+one-shot prefill.
+
 Admission is delegated to a pluggable :class:`~repro.serve.scheduler
 .Scheduler` (``"fifo"`` default, ``"prefix-affinity"``, ``"priority"``
 with preemption), and ``prefix_sharing=True`` puts a
@@ -233,13 +248,16 @@ class EngineStats:
     """Token/time accounting for throughput reporting.
 
     Prefill counters are *per admission*: ``prompt_tokens`` is the
-    context each admission had to establish, ``shared_prompt_tokens``
-    the part adopted from cached prefixes, and ``prefill_tokens`` the
-    part actually forwarded through the model, so ``prompt_tokens ==
-    shared_prompt_tokens + prefill_tokens`` always.  A preempted
-    request's restore is a second admission (its prompt plus generated
-    progress count again) — the counters track prefill work done and
-    avoided, not unique submissions.
+    context admissions established (counted as it lands — adopted
+    prefixes at claim time, forwarded chunks as they forward),
+    ``shared_prompt_tokens`` the part adopted from cached prefixes, and
+    ``prefill_tokens`` the part actually forwarded through the model, so
+    ``prompt_tokens == shared_prompt_tokens + prefill_tokens`` always.
+    A preempted request's restore is a second admission (its prompt plus
+    generated progress count again), and a request cancelled or
+    preempted mid chunked prefill contributes only what it wrote — the
+    counters track prefill work done and avoided, not unique
+    submissions.
     """
 
     prefill_tokens: int = 0
@@ -267,6 +285,13 @@ class EngineStats:
     decode_bytes_not_gathered: int = 0
     dequant_cache_hits: int = 0
     dequant_cache_misses: int = 0
+    # Chunked prefill: forwarded chunk count, prompt tokens that waited
+    # for a later step's budget, and the dequant-memo traffic of prefill
+    # context re-reads (decode traffic stays in dequant_cache_*).
+    prefill_chunks: int = 0
+    prefill_tokens_deferred: int = 0
+    prefill_dequant_hits: int = 0
+    prefill_dequant_misses: int = 0
 
     @property
     def prefill_tokens_per_s(self) -> float:
@@ -305,6 +330,15 @@ class EngineStats:
         lookups = self.dequant_cache_hits + self.dequant_cache_misses
         return self.dequant_cache_hits / lookups if lookups else 0.0
 
+    @property
+    def prefill_dequant_hit_rate(self) -> float:
+        """Fraction of quantized-block *prefill* context reads served
+        from the dequant memo — a later chunk re-reading blocks an
+        earlier chunk (or a decode wave, or a shared prefix) already
+        dequantized."""
+        lookups = self.prefill_dequant_hits + self.prefill_dequant_misses
+        return self.prefill_dequant_hits / lookups if lookups else 0.0
+
 
 class StepTrace(NamedTuple):
     """One decode step's workload, for accelerator projection.
@@ -318,21 +352,40 @@ class StepTrace(NamedTuple):
     means "same as ``kv_bytes``", the gather path).  Tuple-shaped so
     ``repro.hw.workloads`` can consume traces without importing the
     serving engine.
+
+    ``prefill_tokens`` distinguishes prefill-chunk steps (``tokens`` of
+    the step's forward were prompt-chunk writes) from decode steps
+    (``0``; there ``tokens == rows``).
     """
 
     rows: int
     tokens: int
     kv_bytes: int
     kv_bytes_streamed: int = -1
+    prefill_tokens: int = 0
 
 
 @dataclass
 class _Slot:
-    """Live per-row decoding state."""
+    """Live per-row state: decoding, or still writing its prompt.
+
+    ``prefill_tokens`` holds the full token array the row must establish
+    (prompt plus any pre-preemption progress) while its prefill is
+    chunked across steps; ``prefill_pos`` is how much context the row
+    already has (adopted shared prefix plus written chunks).  Once the
+    prompt is fully written ``prefill_tokens`` drops to ``None`` and the
+    slot decodes like any other.
+    """
 
     request: Request
     rng: np.random.Generator
     generated: list[int] = field(default_factory=list)
+    prefill_tokens: np.ndarray | None = None
+    prefill_pos: int = 0
+
+    @property
+    def prefilling(self) -> bool:
+        return self.prefill_tokens is not None
 
 
 def apply_top_k_top_p(scaled: np.ndarray, top_k: np.ndarray,
@@ -424,6 +477,14 @@ class GenerationEngine:
     dequant_cache_bytes:
         Byte budget for the ``"fineq"`` backend's dequantized-block LRU
         (``0`` disables it; ``None`` keeps the cache default).
+    prefill_chunk_tokens:
+        Per-:meth:`step` prompt-token budget (default 128).  Admitted
+        prompts longer than the budget prefill chunk by chunk across
+        steps — their slots sit in a *prefilling* state while decode
+        waves run between chunks — and the scheduler's ``prefill_order``
+        decides which prefilling rows the budget feeds first.  ``None``
+        prefills every admitted prompt in one shot (the pre-chunking
+        behaviour).
     """
 
     def __init__(self, model: TransformerLM, max_batch_size: int = 8,
@@ -437,9 +498,13 @@ class GenerationEngine:
                  max_pool_blocks: int | None = None,
                  record_trace: bool = False,
                  block_decode: bool = True,
-                 dequant_cache_bytes: int | None = None):
+                 dequant_cache_bytes: int | None = None,
+                 prefill_chunk_tokens: int | None = 128):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if prefill_chunk_tokens is not None and prefill_chunk_tokens < 1:
+            raise ValueError("prefill_chunk_tokens must be >= 1 "
+                             "(or None for one-shot prefill)")
         if kv_cache not in KV_CACHE_MODES:
             raise ValueError(f"kv_cache must be one of {KV_CACHE_MODES}, "
                              f"got {kv_cache!r}")
@@ -460,6 +525,8 @@ class GenerationEngine:
         self.record_trace = record_trace
         self.block_decode = block_decode
         self.dequant_cache_bytes = dequant_cache_bytes
+        self.prefill_chunk_tokens = prefill_chunk_tokens
+        self._prefill_budget: int | None = prefill_chunk_tokens
         self.trace: list[StepTrace] = []
         self.stats = EngineStats()
         self._queue: deque[_QueueEntry] = deque()
@@ -603,19 +670,27 @@ class GenerationEngine:
 
     @property
     def num_active(self) -> int:
-        """Slots currently decoding."""
+        """Occupied slots (decoding or mid chunked prefill)."""
         return sum(slot is not None for slot in self._slots)
 
+    @property
+    def num_prefilling(self) -> int:
+        """Slots still writing their prompt chunk by chunk."""
+        return sum(slot is not None and slot.prefilling
+                   for slot in self._slots)
+
     def step(self) -> list[TokenEvent]:
-        """Advance one admit+decode iteration; return this step's events.
+        """Advance one admit+prefill+decode iteration; return its events.
 
         Buffered out-of-step events (cancellations) flush first, then the
         scheduler admits waiting prompts into free slots (possibly
-        preempting victims first), then every active slot decodes one
-        token.  Safe to call with nothing to do.
+        preempting victims first), prefilling rows consume the step's
+        ``prefill_chunk_tokens`` budget, and every decoding slot advances
+        one token.  Safe to call with nothing to do.
         """
         events = self._events
         self._events = []
+        self._prefill_budget = self.prefill_chunk_tokens
         with no_grad():
             if self._queue:
                 if self._cache is None:
@@ -624,7 +699,12 @@ class GenerationEngine:
                         self._prefix = PrefixStore(
                             self._cache, max_blocks=self.prefix_blocks)
                 events += self._admit()
-            if any(slot is not None for slot in self._slots):
+            if self.num_prefilling:
+                # Rows admitted in earlier steps (or starved by this
+                # step's admission rounds) spend whatever budget is left.
+                events += self._prefill_step()
+            if any(slot is not None and not slot.prefilling
+                   for slot in self._slots):
                 self._ensure_decode_headroom()
                 events += self._decode_step()
         return events
@@ -637,7 +717,7 @@ class GenerationEngine:
         if not isinstance(cache, PagedKVCache) or cache.max_blocks is None:
             return
         crossing = sum(1 for row, slot in enumerate(self._slots)
-                       if slot is not None
+                       if slot is not None and not slot.prefilling
                        and self._lengths[row] % cache.block_size == 0)
         available = cache.available_blocks()
         if available is None or crossing <= available:
@@ -682,7 +762,8 @@ class GenerationEngine:
         slots = self._slots
         batch = self.max_batch_size
         active_rows = np.array([row for row, slot in enumerate(slots)
-                                if slot is not None], dtype=np.int64)
+                                if slot is not None and not slot.prefilling],
+                               dtype=np.int64)
         n = len(active_rows)
         positions = self._lengths[active_rows]
         total = max(cache.seq_len, int(positions.max()) + 1)
@@ -772,7 +853,11 @@ class GenerationEngine:
                                     row=row,
                                     priority=slot.request.params.priority,
                                     tokens_generated=len(slot.generated),
-                                    context_len=int(self._lengths[row]))
+                                    context_len=int(self._lengths[row]),
+                                    prefill_remaining=(
+                                        len(slot.prefill_tokens)
+                                        - slot.prefill_pos
+                                        if slot.prefilling else 0))
                         for row, slot in enumerate(self._slots)
                         if slot is not None)
         cache = self._cache
@@ -839,6 +924,15 @@ class GenerationEngine:
         bs = self._cache.block_size
         kept: list[_QueueEntry] = []
         claimed: set[tuple[int, ...]] = set()
+        # Rows still mid chunked prefill have claimed their leading block
+        # too: their prefix is only captured once fully written, so
+        # same-prefix arrivals must keep waiting for that capture instead
+        # of redundantly prefilling alongside.
+        for slot in self._slots:
+            if slot is not None and slot.prefilling \
+                    and len(slot.prefill_tokens) > bs:
+                claimed.add(tuple(int(t)
+                                  for t in slot.prefill_tokens[:bs]))
         for entry in chosen:
             tokens = entry.tokens
             if len(tokens) > bs:  # at least one shareable full block
@@ -877,9 +971,14 @@ class GenerationEngine:
         """Admit waiting work as the scheduler directs.
 
         Each round asks the scheduler for an admission list, trims it to
-        the block budget, and prefills it as one wave; when nothing fits
-        (no slots or no blocks) the scheduler may name victims to
-        preempt, otherwise admission waits for retirements.
+        the block budget, claims slots for it, and lets the claimed rows
+        spend the step's prefill budget; when nothing fits (no slots or
+        no blocks) the scheduler may name victims to preempt, otherwise
+        admission waits for retirements.  Running the prefill inside the
+        round loop keeps the one-shot path's same-step pipelining: a
+        wave that completes (and captures its prefix) lets deferred
+        same-prefix requests re-select as suffix-only prefills within
+        this very step.
         """
         events: list[TokenEvent] = []
         while self._queue:
@@ -902,101 +1001,190 @@ class GenerationEngine:
                 if not preempted:
                     break
                 continue
-            events += self._prefill_wave(chosen, free[:len(chosen)])
+            self._claim_wave(chosen, free[:len(chosen)])
+            events += self._prefill_step()
         return events
 
-    def _prefill_wave(self, entries: list[_QueueEntry],
-                      rows: list[int]) -> list[TokenEvent]:
-        """Prefill ``entries`` into cache rows ``rows`` in one forward."""
+    def _claim_wave(self, entries: list[_QueueEntry],
+                    rows: list[int]) -> None:
+        """Move queue entries into slots, in the *prefilling* state.
+
+        Claiming installs the slot, attaches whatever shared prefix the
+        store holds (the adopted blocks are context the row never
+        forwards), and books the admission's prompt accounting — but
+        forwards nothing: chunk forwards happen in
+        :meth:`_prefill_step`, under the step's token budget.
+        """
         for entry in entries:
             self._queue.remove(entry)
-        new_slots = [_Slot(request=e.request, rng=e.rng, generated=e.generated)
-                     for e in entries]
-        rows_arr = np.asarray(rows, dtype=np.int64)
-        lens = np.array([len(e.tokens) for e in entries], dtype=np.int64)
-        starts = np.zeros(len(entries), dtype=np.int64)
-        if self._prefix is not None:
-            for j, (entry, row) in enumerate(zip(entries, rows)):
-                starts[j] = self._prefix.attach(row, entry.tokens)
+        for entry, row in zip(entries, rows):
+            shared = 0
+            if self._prefix is not None:
+                shared = self._prefix.attach(row, entry.tokens)
+            slot = _Slot(request=entry.request, rng=entry.rng,
+                         generated=entry.generated,
+                         prefill_tokens=np.asarray(entry.tokens,
+                                                   dtype=np.int64),
+                         prefill_pos=shared)
+            self._slots[row] = slot
+            self._lengths[row] = shared
+            self._live[entry.request_id] = row
+            # prompt_tokens counts context as it is *established* (the
+            # adopted prefix now, each chunk as it forwards), so the
+            # ``prompt == shared + prefill`` invariant holds at every
+            # instant — including across mid-prefill cancels/preempts,
+            # whose never-written remainders simply never count.
+            self.stats.prompt_tokens += shared
+            self.stats.shared_prompt_tokens += shared
+
+    def _prefill_step(self) -> list[TokenEvent]:
+        """Advance prefilling rows by one budgeted ragged chunk wave.
+
+        The scheduler's ``prefill_order`` (arrival order if the policy
+        has none) ranks the prefilling rows; each row in turn takes
+        ``min(remaining prompt, remaining budget)`` tokens — rounded
+        down to whole cache blocks unless the grant finishes the prompt
+        — until the step's budget is spent.  The granted spans forward
+        as one ragged
+        wave — written via ``prefill_rows`` and attended block-resident
+        over the chunk grid — and rows whose final prompt token lands
+        this wave sample their first token, capture their prefix, and
+        flip to decoding (the LM head is skipped for every other row via
+        negative ``logits_positions``).
+        """
+        budget = self._prefill_budget
+        prefilling = {slot.request.request_id: (row, slot)
+                      for row, slot in enumerate(self._slots)
+                      if slot is not None and slot.prefilling}
+        if not prefilling or (budget is not None and budget < 1):
+            return []
+        order_fn = getattr(self.scheduler, "prefill_order", None)
+        if order_fn is not None:
+            view = self._scheduler_view()
+            infos = [info for info in view.running
+                     if info.request_id in prefilling]
+            order = [rid for rid in order_fn(infos, view)
+                     if rid in prefilling]
+        else:
+            order = sorted(prefilling)
+        # Non-final grants round down to the cache's block granularity:
+        # a chunk that stops mid-block would leave its freshest keys in
+        # the FP32 write buffer where the one-shot span has already
+        # quantized that block — the quantized backend would then read
+        # different values chunked vs one-shot.  The effective per-step
+        # budget is at least one block so the head of the order always
+        # makes progress.
+        grain = max(1, int(getattr(self._cache, "block_size", 1) or 1))
+        grants: list[tuple[int, _Slot, int]] = []   # (row, slot, take)
+        remaining_total = 0
+        for rid in order:
+            row, slot = prefilling[rid]
+            remaining = len(slot.prefill_tokens) - slot.prefill_pos
+            remaining_total += remaining
+            if budget is None:
+                take = remaining
+            else:
+                take = min(remaining, max(budget, grain if not grants
+                                          else 0))
+                if take < remaining:
+                    take -= take % grain
+            if take < 1:
+                continue
+            grants.append((row, slot, take))
+            if budget is not None:
+                budget = max(0, budget - take)
+        if not grants:
+            return []
+        granted = sum(take for _, _, take in grants)
+        self._prefill_budget = budget
+        self.stats.prefill_chunks += len(grants)
+        self.stats.prefill_tokens_deferred += remaining_total - granted
+
+        # One ragged wave over the granted spans: row j writes
+        # ``take`` tokens after its ``prefill_pos`` established context
+        # and attends everything up to each written position.  Rows sit
+        # at different depths, so causality is a full per-row mask, not
+        # the uniform triangular one.
+        cache = self._cache
+        rows_arr = np.array([row for row, _, _ in grants], dtype=np.int64)
+        starts = np.array([slot.prefill_pos for _, slot, _ in grants],
+                          dtype=np.int64)
+        widths = np.array([take for _, _, take in grants], dtype=np.int64)
+        finishing = np.array([slot.prefill_pos + take
+                              >= len(slot.prefill_tokens)
+                              for _, slot, take in grants])
+        width = int(widths.max())
+        n = len(grants)
+        tokens = np.zeros((n, width), dtype=np.int64)
+        positions = np.zeros((n, width), dtype=np.int64)
+        # Clamp padding positions into the RoPE table; padded K/V are
+        # never written (prefill_rows writes true lengths only) and
+        # padded logits are never computed.
+        max_pos = self.model.config.max_seq_len - 1
+        offsets = np.arange(width)
+        for j, (row, slot, take) in enumerate(grants):
+            s = slot.prefill_pos
+            tokens[j, :take] = slot.prefill_tokens[s:s + take]
+            positions[j] = np.minimum(s + offsets, max_pos)
+        total = max(int((starts + widths).max()), cache.seq_len)
+        query_pos = starts[:, None] + offsets[None, :]        # (n, width)
+        allow = np.arange(total)[None, None, :] <= query_pos[:, :, None]
+        kv_mask = np.where(allow, 0.0, -np.inf).astype(np.float32)[:, None]
+        logits_positions = np.where(finishing, widths - 1, -1)
 
         start_t = time.perf_counter()
-        if self._prefix is not None:
-            logits = self._suffix_prefill(entries, rows_arr, starts, lens)
-        else:
-            # Lean prefill: norm + LM head only at each row's last *real*
-            # prompt position — the only logits generation samples from.
-            # cache_lens gives paged caches the true (unpadded) lengths.
-            width = int(lens.max())
-            tokens = np.zeros((len(rows), width), dtype=np.int64)
-            for j, entry in enumerate(entries):
-                tokens[j, :lens[j]] = entry.tokens
-            logits = self.model(tokens, cache=self._cache,
-                                cache_rows=rows_arr, cache_lens=lens,
-                                logits_positions=lens - 1)
+        logits = self.model(tokens, cache=cache, cache_rows=rows_arr,
+                            cache_lens=widths, cache_starts=starts,
+                            positions=positions, kv_mask=kv_mask,
+                            logits_positions=logits_positions)
         self.stats.prefill_seconds += time.perf_counter() - start_t
-        self.stats.prefill_tokens += int((lens - starts).sum())
-        self.stats.prompt_tokens += int(lens.sum())
-        self.stats.shared_prompt_tokens += int(starts.sum())
+        self.stats.prefill_tokens += granted
+        self.stats.prompt_tokens += granted
+        kv_streamed = -1
+        if isinstance(cache, PagedKVCache):
+            # Snapshot the wave's read accounting now so prefill traffic
+            # never leaks into the decode step's snapshot.
+            read = cache.take_read_stats()
+            self.stats.prefill_dequant_hits += read.dequant_hits
+            self.stats.prefill_dequant_misses += read.dequant_misses
+            if read.logical_bytes:
+                kv_streamed = read.streamed_bytes
+        if self.record_trace:
+            kv_bytes = cache.used_bytes()
+            self.trace.append(StepTrace(
+                rows=n, tokens=granted, kv_bytes=kv_bytes,
+                kv_bytes_streamed=kv_streamed if kv_streamed >= 0
+                else kv_bytes, prefill_tokens=granted))
+
+        for row, slot, take in grants:
+            slot.prefill_pos += take
+            self._lengths[row] = slot.prefill_pos
+
+        events: list[TokenEvent] = []
+        finish_idx = np.flatnonzero(finishing)
+        if len(finish_idx) == 0:
+            return events
+        done = [grants[i] for i in finish_idx]
         if self._prefix is not None:
-            # Index the freshly written prompts (before any same-step
+            # Index the fully written prompts (before any same-step
             # retirement can release their blocks).  Only the original
             # prompt is captured — a restored request's regenerated
             # continuation is its own, not a reusable prefix.
-            for entry, row in zip(entries, rows):
-                self._prefix.capture(row, entry.request.prompt)
-
-        events: list[TokenEvent] = []
-        first = self._sample(logits.data[:, 0], new_slots)
-        for j, (row, slot) in enumerate(zip(rows, new_slots)):
+            for row, slot, _ in done:
+                self._prefix.capture(row, slot.request.prompt)
+        first = self._sample(logits.data[finish_idx, 0],
+                             [slot for _, slot, _ in done])
+        for j, (row, slot, _) in enumerate(done):
             token = int(first[j])
             slot.generated.append(token)
-            self._slots[row] = slot
-            self._lengths[row] = int(lens[j])
+            slot.prefill_tokens = None
             self._pending[row] = token
-            self._live[slot.request.request_id] = row
             reason = self._finish_reason(row)
             events.append(TokenEvent(slot.request.request_id, token,
                                      reason))
             if reason is not None:
                 self._retire(row, reason)
         return events
-
-    def _suffix_prefill(self, entries: list[_QueueEntry],
-                        rows: np.ndarray, starts: np.ndarray,
-                        lens: np.ndarray):
-        """Forward only each row's novel suffix over its adopted context.
-
-        Row ``j`` skips its ``starts[j]`` shared tokens: the suffix is
-        written after them (``cache_starts`` -> ``cache.prefill_rows``)
-        and attends over the gathered shared-plus-suffix context.  Since
-        rows sit at different depths, causality is encoded in a full
-        ``(batch, 1, seq, total)`` additive mask — suffix token ``i`` of
-        row ``j`` sees absolute positions ``<= starts[j] + i`` — instead
-        of attention's uniform triangular mask.
-        """
-        widths = lens - starts
-        width = int(widths.max())
-        n = len(entries)
-        tokens = np.zeros((n, width), dtype=np.int64)
-        positions = np.zeros((n, width), dtype=np.int64)
-        # Clamp padding positions into the RoPE table; padded K/V are
-        # never written (prefill_rows writes true lengths only) and
-        # padded logits are never sampled.
-        max_pos = self.model.config.max_seq_len - 1
-        offsets = np.arange(width)
-        for j, entry in enumerate(entries):
-            w = int(widths[j])
-            tokens[j, :w] = np.asarray(entry.tokens)[int(starts[j]):]
-            positions[j] = np.minimum(int(starts[j]) + offsets, max_pos)
-        total = max(int(lens.max()),
-                    self._cache.seq_len if self._cache is not None else 0)
-        query_pos = starts[:, None] + offsets[None, :]        # (n, width)
-        allow = np.arange(total)[None, None, :] <= query_pos[:, :, None]
-        kv_mask = np.where(allow, 0.0, -np.inf).astype(np.float32)[:, None]
-        return self.model(tokens, cache=self._cache, cache_rows=rows,
-                          cache_lens=widths, cache_starts=starts,
-                          positions=positions, kv_mask=kv_mask,
-                          logits_positions=widths - 1)
 
     def _finish_reason(self, row: int) -> str | None:
         """Terminal state for the row's newest token, or None to continue."""

@@ -24,6 +24,17 @@ to make admission room, ``victims_for_blocks`` names victims when
 *decode* (not admission) needs blocks the budget cannot grant.  The
 engine enacts (or trims) the proposals against the actual block budget.
 
+With chunked prefill enabled the engine additionally asks the policy to
+arbitrate the per-step prefill token budget: ``prefill_order`` ranks the
+rows still writing their prompts, and the engine grants each row chunk
+tokens in that order until the step budget runs out (the head row always
+progresses).  FIFO and prefix-affinity hand the budget out in arrival
+order; priority ranks by request priority first, so a high-priority
+prompt drains ahead of lower ones.  ``prefill_order`` is *optional* on
+custom policies — the engine falls back to arrival order when a policy
+does not provide it (the :class:`Scheduler` protocol deliberately leaves
+it out so pre-existing duck-typed policies keep validating).
+
 Custom policies implement the same three methods and go straight into
 ``GenerationEngine(scheduler=MyScheduler())``.
 """
@@ -39,13 +50,19 @@ SCHEDULERS = ("fifo", "prefix-affinity", "priority")
 
 @dataclass(frozen=True)
 class RunningInfo:
-    """One active engine slot, as schedulers see it."""
+    """One active engine slot, as schedulers see it.
+
+    ``prefill_remaining`` is the number of prompt tokens the row still
+    has to write before it can decode — zero for decoding rows, positive
+    for rows mid chunked prefill (``prefill_order`` arbitrates these).
+    """
 
     request_id: int
     row: int
     priority: int
     tokens_generated: int
     context_len: int
+    prefill_remaining: int = 0
 
 
 @dataclass(frozen=True)
@@ -108,6 +125,18 @@ class FIFOScheduler:
                            needed_blocks: int) -> list[int]:
         return []
 
+    def prefill_order(self, prefilling: Sequence[RunningInfo],
+                      view: SchedulerView) -> list[int]:
+        """Request ids of mid-prefill rows, in budget-grant order.
+
+        The engine walks this order handing each row up to its remaining
+        prompt tokens from the step's ``prefill_chunk_tokens`` budget.
+        Arrival order (request ids ascend with submission) keeps the
+        earliest long prompt draining first instead of time-slicing every
+        prompt a sliver per step (which would delay *all* first tokens).
+        """
+        return sorted(info.request_id for info in prefilling)
+
 
 class PrefixAffinityScheduler(FIFOScheduler):
     """Batch requests that share cached prefixes into the same wave."""
@@ -153,6 +182,14 @@ class PriorityScheduler(FIFOScheduler):
         victim = min(candidates,
                      key=lambda info: (info.priority, -info.context_len))
         return [victim.request_id]
+
+    def prefill_order(self, prefilling: Sequence[RunningInfo],
+                      view: SchedulerView) -> list[int]:
+        """Highest priority drains first; FIFO within a level."""
+        return [info.request_id
+                for info in sorted(prefilling,
+                                   key=lambda info: (-info.priority,
+                                                     info.request_id))]
 
     def victims_for_blocks(self, view: SchedulerView,
                            needed_blocks: int) -> list[int]:

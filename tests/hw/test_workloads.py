@@ -100,12 +100,18 @@ def test_projection_from_engine_trace():
     for i in range(4):
         engine.submit(np.arange(1 + i, 6 + i), 6)
     engine.run()
-    assert len(engine.trace) == engine.stats.decode_steps
-    assert sum(t.tokens for t in engine.trace) == engine.stats.decode_tokens
+    # The trace carries decode steps plus prefill-chunk steps (flagged
+    # by prefill_tokens), covering every token the session forwarded.
+    decode_steps = [t for t in engine.trace if t.prefill_tokens == 0]
+    chunk_steps = [t for t in engine.trace if t.prefill_tokens > 0]
+    assert len(decode_steps) == engine.stats.decode_steps
+    assert sum(t.tokens for t in decode_steps) == engine.stats.decode_tokens
+    assert sum(t.tokens for t in chunk_steps) == engine.stats.prefill_tokens
     baseline = project_decode_trace(model.config, engine.trace, "baseline")
     fineq = project_decode_trace(model.config, engine.trace, "fineq")
     assert isinstance(baseline, DecodeProjection)
-    assert baseline.tokens == fineq.tokens == engine.stats.decode_tokens
+    assert baseline.tokens == fineq.tokens \
+        == engine.stats.decode_tokens + engine.stats.prefill_tokens
     assert fineq.tokens_per_s > 0 and baseline.tokens_per_s > 0
 
 

@@ -1,9 +1,11 @@
-"""Block-resident decode attention: chunk values, parity, memoisation."""
+"""Block-resident attention reads: chunk values, decode and prefill
+parity, chunk-grid stability, memoisation."""
 
 import numpy as np
 import pytest
 
-from repro.nn.block_attention import block_decode_attention
+from repro.nn.block_attention import (block_decode_attention,
+                                      block_prefill_attention)
 from repro.nn.paged_kv_cache import PagedKVCache, QuantizedPagedKVCache
 
 
@@ -179,3 +181,76 @@ def test_block_ids_memo_invalidated_on_free_and_adopt():
     again = cache._block_ids(nblk)
     cache.adopt_prefix(1, [shared])
     assert cache._block_ids(nblk) is not again
+
+
+# ---------------------------------------------------------------------- #
+# multi-query prefill attention over the chunk grid
+# ---------------------------------------------------------------------- #
+def suffix_mask(cache, starts, widths, rows):
+    """Per-row causal mask for suffix queries at absolute positions
+    ``starts[j] + i`` (the engine's chunk-wave mask)."""
+    total = cache.layer_len(0)
+    offsets = np.arange(int(widths.max()))
+    query_pos = starts[:, None] + offsets[None, :]
+    allow = np.arange(total)[None, None, :] <= query_pos[:, :, None]
+    return np.where(allow, 0.0, -np.inf).astype(np.float32)[:, None]
+
+
+@pytest.mark.parametrize("cls", [PagedKVCache, QuantizedPagedKVCache])
+def test_prefill_attention_matches_dense_reference(cls):
+    """Multi-query chunked prefill attention agrees with the dense
+    gather reference over ragged rows incl. partial-block tails."""
+    cache, rng = build_cache(cls, seq=13, chunk_blocks=2)
+    lens = cache._row_len.copy()
+    starts = np.zeros(3, dtype=np.int64)
+    q = rng.standard_normal((3, HEADS, int(lens.max()),
+                             HEAD_DIM)).astype(np.float32)
+    kv_mask = suffix_mask(cache, starts, lens, np.arange(3))
+    for layer in range(cache.num_layers):
+        got = block_prefill_attention(q, cache, layer, kv_mask=kv_mask)
+        k, v = cache._context(layer)
+        want = reference_attention(q, k, v, kv_mask)
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-6)
+
+
+def test_prefill_attention_chunk_grid_stable():
+    """The bit-exactness invariant behind chunked == one-shot prefill: a
+    row's attention output must not move when *other* rows grow the
+    cache-wide context (and with it the chunk grid)."""
+    rng = np.random.default_rng(3)
+    q = rng.standard_normal((2, HEADS, 13, HEAD_DIM)).astype(np.float32)
+    outs = []
+    for extra in (0, 30):  # grid: 2 windows vs 4 windows
+        cache, _ = build_cache(PagedKVCache, seq=13, chunk_blocks=2, seed=0)
+        if extra:
+            filler = np.random.default_rng(9).standard_normal(
+                (1, HEADS, extra, HEAD_DIM)).astype(np.float32)
+            for layer in range(cache.num_layers):
+                cache.write_rows(layer, filler, filler.copy(),
+                                 np.array([2]),
+                                 row_lengths=np.array([extra]))
+        rows = np.array([0, 1])
+        starts = np.zeros(2, dtype=np.int64)
+        widths = np.array([13, 13], dtype=np.int64)
+        kv_mask = suffix_mask(cache, starts, widths, rows)
+        outs.append(block_prefill_attention(q, cache, 0, kv_mask=kv_mask,
+                                            rows=rows))
+    np.testing.assert_array_equal(outs[0], outs[1])
+
+
+@pytest.mark.parametrize("cls", [PagedKVCache, QuantizedPagedKVCache])
+def test_prefill_rows_gather_false_matches_gather_true(cls):
+    """gather=False returns nothing but must leave the exact cache
+    state (incl. quantization boundaries) the gathering call builds."""
+    caches = [build_cache(cls, seed=0)[0] for _ in range(2)]
+    rng = np.random.default_rng(21)
+    starts = caches[0]._row_len.copy()
+    widths = np.array([5, 3, 4], dtype=np.int64)
+    k = rng.standard_normal((3, HEADS, 5, HEAD_DIM)).astype(np.float32)
+    v = rng.standard_normal((3, HEADS, 5, HEAD_DIM)).astype(np.float32)
+    gathered = caches[0].prefill_rows(0, k, v, np.arange(3), starts, widths)
+    assert gathered is not None
+    assert caches[1].prefill_rows(0, k, v, np.arange(3), starts, widths,
+                                  gather=False) is None
+    for got, want in zip(caches[1]._context(0), caches[0]._context(0)):
+        np.testing.assert_array_equal(got, want)

@@ -101,7 +101,14 @@ def test_fineq_dequant_stats_and_streamed_trace(model):
     logical = project_decode_trace(
         model.config, [s[:3] for s in engine.trace])
     assert streamed.kv_dma_cycles <= logical.kv_dma_cycles
-    assert streamed.tokens == logical.tokens == stats.decode_tokens
+    # Traces carry decode steps and prefill-chunk steps; the chunk
+    # records are flagged by prefill_tokens and cover exactly the
+    # forwarded prefill work.
+    assert streamed.tokens == logical.tokens \
+        == stats.decode_tokens + stats.prefill_tokens
+    decode_only = project_decode_trace(
+        model.config, [s for s in engine.trace if s.prefill_tokens == 0])
+    assert decode_only.tokens == stats.decode_tokens
 
 
 def test_dequant_cache_disabled_engine_round_trips(long_model):
