@@ -59,11 +59,26 @@ def training_stream(tokenizer: WordTokenizer, seed: int = DEFAULT_SEED) -> np.nd
     return np.concatenate(parts)
 
 
+#: Process-wide memo: multi-sweep bench runs and the speculative-decoding
+#: tests load the same draft/target pair repeatedly; weights are immutable
+#: once cached, so one ZooModel per (name, seed) is safe to share.
+_LOAD_MEMO: dict[tuple[str, int], ZooModel] = {}
+
+
 def load_model(name: str, train_if_missing: bool = True,
                outlier_spec: OutlierSpec | None = None,
                verbose: bool = False) -> ZooModel:
-    """Load (or train and cache) a zoo model by name."""
+    """Load (or train and cache) a zoo model by name.
+
+    Results are memoised per ``(name, seed)`` within the process —
+    callers share one :class:`ZooModel` instance.  Passing an explicit
+    ``outlier_spec`` bypasses the memo (it changes the trained
+    weights), as does clearing ``_LOAD_MEMO``.
+    """
     config = zoo_config(name)
+    memo_key = (name, config.seed)
+    if outlier_spec is None and memo_key in _LOAD_MEMO:
+        return _LOAD_MEMO[memo_key]
     tokenizer = build_tokenizer()
     weights_path = artifacts_dir() / f"{name}.npz"
     meta_path = artifacts_dir() / f"{name}.json"
@@ -72,7 +87,11 @@ def load_model(name: str, train_if_missing: bool = True,
     if weights_path.exists() and meta_path.exists():
         model.load(weights_path)
         meta = json.loads(meta_path.read_text())
-        return ZooModel(name=name, model=model, tokenizer=tokenizer, meta=meta)
+        loaded = ZooModel(name=name, model=model, tokenizer=tokenizer,
+                          meta=meta)
+        if outlier_spec is None:
+            _LOAD_MEMO[memo_key] = loaded
+        return loaded
 
     if not train_if_missing:
         raise FileNotFoundError(f"no cached weights for {name} at {weights_path}")
@@ -105,7 +124,10 @@ def load_model(name: str, train_if_missing: bool = True,
                            for k, v in spike_report.items()},
     }
     meta_path.write_text(json.dumps(meta))
-    return ZooModel(name=name, model=model, tokenizer=tokenizer, meta=meta)
+    trained = ZooModel(name=name, model=model, tokenizer=tokenizer, meta=meta)
+    if outlier_spec is None:
+        _LOAD_MEMO[memo_key] = trained
+    return trained
 
 
 def available_models() -> list[str]:

@@ -191,6 +191,23 @@ class KVCache:
         self._lengths = [min(length, max_len) for length in self._lengths]
 
     # ------------------------------------------------------------------ #
+    # speculative-decoding rollback (interface parity)
+    # ------------------------------------------------------------------ #
+    def snapshot_rows(self, rows) -> dict:
+        """Interface parity with the paged caches: the rectangle holds no
+        per-row state a rollback could corrupt."""
+        return {}
+
+    def truncate_rows(self, rows, lengths, snapshot: dict | None = None
+                      ) -> None:
+        """Interface parity with the paged caches' speculative rollback.
+
+        The rectangle has no per-row lengths or block ownership — the
+        engine's per-row masks already hide uncommitted slots, and the
+        next write simply overwrites them in place — so rolling back is
+        free."""
+
+    # ------------------------------------------------------------------ #
     # bookkeeping
     # ------------------------------------------------------------------ #
     @property

@@ -627,6 +627,67 @@ class PagedKVCache:
         self._lengths = [min(length, max_len) for length in self._lengths]
 
     # ------------------------------------------------------------------ #
+    # speculative-decoding rollback
+    # ------------------------------------------------------------------ #
+    def snapshot_rows(self, rows) -> dict:
+        """Capture per-row state :meth:`truncate_rows` may need to restore.
+
+        The FP32 cache only records bookkeeping (lengths and owned block
+        counts); the quantized cache additionally copies each row's FP32
+        write buffer, since truncating below the buffered block cannot
+        otherwise recover exact values from lossy pool storage.
+        """
+        snap: dict[int, dict] = {}
+        for row in np.asarray(rows, dtype=np.int64).reshape(-1):
+            row = int(row)
+            snap[row] = {"len": int(self._row_len[row]),
+                         "blocks": int(self._blocks_per_row[row])}
+        return snap
+
+    def truncate_rows(self, rows, lengths, snapshot: dict | None = None
+                      ) -> None:
+        """Roll ``rows`` back to ``lengths`` committed tokens.
+
+        The speculative-decoding rollback: a rejected draft suffix is
+        uncommitted by clamping the row's token length and *releasing*
+        (not zeroing) any block the kept prefix no longer reaches.
+        Release honours refcounts, so a shared-prefix block merely loses
+        this row's reference and is never mutated for its other readers;
+        a block whose last reference drops returns to the free list,
+        which also invalidates any dequantized memo of it
+        (:meth:`_on_block_freed`).  Slots beyond ``lengths`` inside the
+        kept blocks keep their stale values — per-row masks hide them
+        and later writes overwrite them, the same contract stale table
+        slots already live under.
+        """
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        lengths = np.asarray(lengths, dtype=np.int64).reshape(-1)
+        for row, keep in zip(rows, lengths):
+            row, keep = int(row), int(keep)
+            if keep < 0:
+                raise ValueError("cannot truncate a row below zero tokens")
+            have = int(self._blocks_per_row[row])
+            need = min(have, self._blocks_kept(keep))
+            if need < have:
+                self.release_blocks(self._tables[row, need:have])
+                self._blocks_per_row[row] = need
+                self._restore_row(row, keep, snapshot)
+            self._row_len[row] = min(int(self._row_len[row]), keep)
+        self._invalidate_ids_memo()
+
+    def _blocks_kept(self, keep: int) -> int:
+        """Pool blocks a row still owns at ``keep`` tokens.  FP32 keeps
+        every block the prefix touches — partial blocks live in the pool."""
+        return int(_blocks_needed(keep, self.block_size))
+
+    def _restore_row(self, row: int, keep: int,
+                     snapshot: dict | None) -> None:
+        """Hook: blocks were just released below ``row``'s previous chain.
+        FP32 pool slots under ``keep`` were never clobbered, so there is
+        nothing to restore; the quantized cache refills its write buffer
+        from ``snapshot`` here."""
+
+    # ------------------------------------------------------------------ #
     # write paths (rectangular-cache interface)
     # ------------------------------------------------------------------ #
     def append(self, layer: int, k: np.ndarray, v: np.ndarray
@@ -1158,7 +1219,13 @@ class QuantizedPagedKVCache(PagedKVCache):
         block boundary must leave the same storage state (block
         quantized) the one-shot span produces when it rolls past that
         boundary — otherwise the next chunk's attention would read the
-        block exact FP32 where the one-shot run reads it dequantized."""
+        block exact FP32 where the one-shot run reads it dequantized.
+
+        Speculative verify writes do *not* come through here: they run
+        as clone-rows decode through :meth:`write_token`, whose lazy
+        flush keeps each verify query's own block in the FP32 buffer
+        (and whose GEMM-feeding values are bitwise the ones sequential
+        decode produces)."""
         bs = self.block_size
         flush_ids, flush_k, flush_v = [], [], []
         for j, row in enumerate(rows):
@@ -1181,6 +1248,44 @@ class QuantizedPagedKVCache(PagedKVCache):
         if flush_ids:
             self._quantize_into(layer, np.asarray(flush_ids),
                                 np.stack(flush_k), np.stack(flush_v))
+
+    # ------------------------------------------------------------------ #
+    # speculative-decoding rollback (quantized format)
+    # ------------------------------------------------------------------ #
+    def _blocks_kept(self, keep: int) -> int:
+        """Quantized rows keep ``(keep - 1) // block_size`` pool blocks:
+        the block holding token ``keep - 1`` lives in the FP32 write
+        buffer (lazy-flush invariant), never in the pool."""
+        return 0 if keep == 0 else (keep - 1) // self.block_size
+
+    def snapshot_rows(self, rows) -> dict:
+        snap = super().snapshot_rows(rows)
+        if self._heads is not None:
+            for row, entry in snap.items():
+                entry["buf_k"] = [buf[row].copy() for buf in self._buf_k]
+                entry["buf_v"] = [buf[row].copy() for buf in self._buf_v]
+        return snap
+
+    def _restore_row(self, row: int, keep: int,
+                     snapshot: dict | None) -> None:
+        """Truncation released pool blocks below the buffered block, so
+        the write buffer must hold block ``(keep - 1) // block_size``
+        again.  Pool storage is lossy, so only a pre-roll ``snapshot``
+        that buffered that very block can supply the exact values; the
+        engine's boundary-chunked verify never truncates past its own
+        writes, so this path only runs for direct callers rolling below
+        a snapshot point."""
+        if snapshot is None or row not in snapshot or keep == 0:
+            return
+        entry = snapshot[row]
+        buffered = entry["len"] - entry["blocks"] * self.block_size
+        if ("buf_k" not in entry or buffered <= 0 or keep > entry["len"]
+                or (keep - 1) // self.block_size
+                != (entry["len"] - 1) // self.block_size):
+            return
+        for layer in range(self.num_layers):
+            self._buf_k[layer][row] = entry["buf_k"][layer]
+            self._buf_v[layer][row] = entry["buf_v"][layer]
 
     def write_token(self, layer: int, k: np.ndarray, v: np.ndarray,
                     positions: np.ndarray,

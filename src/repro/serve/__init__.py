@@ -17,17 +17,21 @@ from repro.serve.scheduler import (SCHEDULERS, FIFOScheduler,
                                    PrefixAffinityScheduler,
                                    PriorityScheduler, RunningInfo, Scheduler,
                                    SchedulerView, get_scheduler)
+from repro.serve.spec import (DRAFT_KV_CACHE_MODES, SPEC_POLICIES,
+                              SpeculativeConfig, SpeculativeDecoder)
 from repro.serve.bench import (DecodePoint, DecodeReport, MemoryPoint,
                                MemoryReport, MixedLatencyPoint,
                                MixedLatencyReport, PrefixPoint, PrefixReport,
-                               StreamLatencyPoint, StreamLatencyReport,
-                               ThroughputPoint, ThroughputReport,
-                               bench_prompts, decode_point, decode_sweep,
-                               engine_throughput, latency_sweep, memory_point,
-                               memory_sweep, mixed_latency_sweep,
-                               mixed_traffic_session, prefix_prompts,
-                               prefix_sweep, sequential_throughput,
-                               serve_session, stream_latency,
+                               SpecPoint, SpecReport, StreamLatencyPoint,
+                               StreamLatencyReport, ThroughputPoint,
+                               ThroughputReport, bench_prompts,
+                               corpus_prompts, decode_point, decode_sweep,
+                               engine_throughput, export_report,
+                               latency_sweep, memory_point, memory_sweep,
+                               mixed_latency_sweep, mixed_traffic_session,
+                               prefix_prompts, prefix_sweep,
+                               sequential_throughput, serve_session,
+                               spec_point, spec_sweep, stream_latency,
                                throughput_sweep)
 
 __all__ = [
@@ -36,12 +40,16 @@ __all__ = [
     "apply_top_k_top_p", "PrefixMatch", "PrefixStore", "PrefixStoreStats",
     "SCHEDULERS", "FIFOScheduler", "PrefixAffinityScheduler",
     "PriorityScheduler", "RunningInfo", "Scheduler", "SchedulerView",
-    "get_scheduler", "DecodePoint", "DecodeReport", "MemoryPoint",
+    "get_scheduler", "DRAFT_KV_CACHE_MODES", "SPEC_POLICIES",
+    "SpeculativeConfig", "SpeculativeDecoder",
+    "DecodePoint", "DecodeReport", "MemoryPoint",
     "MemoryReport", "MixedLatencyPoint", "MixedLatencyReport", "PrefixPoint",
-    "PrefixReport", "StreamLatencyPoint", "StreamLatencyReport",
-    "ThroughputPoint", "ThroughputReport", "bench_prompts", "decode_point",
-    "decode_sweep", "engine_throughput", "latency_sweep", "memory_point",
+    "PrefixReport", "SpecPoint", "SpecReport", "StreamLatencyPoint",
+    "StreamLatencyReport", "ThroughputPoint", "ThroughputReport",
+    "bench_prompts", "corpus_prompts", "decode_point", "decode_sweep",
+    "engine_throughput", "export_report", "latency_sweep", "memory_point",
     "memory_sweep", "mixed_latency_sweep", "mixed_traffic_session",
     "prefix_prompts", "prefix_sweep", "sequential_throughput",
-    "serve_session", "stream_latency", "throughput_sweep",
+    "serve_session", "spec_point", "spec_sweep", "stream_latency",
+    "throughput_sweep",
 ]

@@ -21,9 +21,14 @@ the pre-change gather path at several context lengths — the fineq
 ``mixed_latency_sweep`` serves short decoders with long prompts landing
 mid-stream, one-shot vs chunked prefill, and reports the p95
 inter-token latency both ways — the chunked tail improvement (with
-token-identical output) is the asserted chunked-prefill number.  Run
-directly for a smoke report on an untrained tiny model (fast enough
-for CI):
+token-identical output) is the asserted chunked-prefill number.
+``spec_sweep`` pairs a draft model with the served target and measures
+speculative decode tokens/sec against target-only decode over a
+``k`` x batch grid — the small-batch latency lever the draft/verify
+pipeline buys.  Every ``--json`` export goes through
+:func:`export_report`, which stamps the payload with the benched model,
+the cache backend(s), and the repo's git commit.  Run directly for a
+smoke report on an untrained tiny model (fast enough for CI):
 
     PYTHONPATH=src python -m repro.serve --smoke
     PYTHONPATH=src python -m repro.serve --mem --smoke --json BENCH_serve_mem.json
@@ -31,13 +36,16 @@ for CI):
     PYTHONPATH=src python -m repro.serve --prefix --smoke --json BENCH_serve_prefix.json
     PYTHONPATH=src python -m repro.serve --decode --smoke --json BENCH_serve_decode.json
     PYTHONPATH=src python -m repro.serve --latency --smoke --json BENCH_serve_latency.json
+    PYTHONPATH=src python -m repro.serve --spec --smoke --json BENCH_serve_spec.json
 """
 
 from __future__ import annotations
 
 import json
+import subprocess
 import time
 from dataclasses import dataclass, asdict
+from pathlib import Path
 
 import numpy as np
 
@@ -45,6 +53,36 @@ from repro.autograd import no_grad
 from repro.nn.kv_cache import KVCache
 from repro.nn.model import TransformerLM
 from repro.serve.engine import GenerationEngine
+from repro.serve.spec import SpeculativeConfig
+
+
+def _git_sha() -> str:
+    """Commit the benchmark ran at (``"unknown"`` outside a checkout)."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10,
+                             cwd=Path(__file__).resolve().parent)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def export_report(report, path: str, model: str, kv_cache: str) -> None:
+    """Write a sweep report as JSON, stamped with run provenance.
+
+    The one JSON writer behind every ``--json`` mode: each exported
+    ``BENCH_*.json`` payload carries the benched ``model`` name, the
+    cache backend(s) the sweep exercised, and the repo's git commit,
+    so archived CI artifacts stay attributable across runs.
+    """
+    payload = report.to_dict()
+    payload["model"] = model
+    payload["kv_cache"] = kv_cache
+    payload["git_sha"] = _git_sha()
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {path}")
 
 
 @dataclass(frozen=True)
@@ -97,6 +135,28 @@ def bench_prompts(vocab_size: int, num: int, max_prompt_len: int = 12,
     lengths = [min_prompt_len + i % (max_prompt_len - min_prompt_len + 1)
                for i in range(num)]
     return [rng.integers(0, vocab_size, size=length) for length in lengths]
+
+
+def corpus_prompts(tokenizer, num: int, prompt_len: int,
+                   seed: int = 0) -> list[np.ndarray]:
+    """In-distribution prompts: token windows of a held-out corpus slice.
+
+    Speculative decoding's speedup rides on draft/target agreement, and
+    zoo models only agree on text like the corpus they were trained on —
+    random-token prompts would understate acceptance.  Uses a seed offset
+    the training stream never saw so the windows are held out.
+    """
+    from repro.data.corpus import generate_corpus
+
+    rng = np.random.default_rng(seed)
+    sentences = generate_corpus("wikitext-sim", max(64, num * 8),
+                                seed=100_000 + seed)
+    stream = np.asarray(tokenizer.encode(sentences), dtype=np.int64)
+    if stream.size < prompt_len + num:
+        raise ValueError(f"corpus slice too short for {num} windows of "
+                         f"{prompt_len} tokens")
+    starts = rng.integers(0, stream.size - prompt_len, size=num)
+    return [stream[s:s + prompt_len].copy() for s in starts]
 
 
 def sequential_throughput(model: TransformerLM, prompts: list[np.ndarray],
@@ -612,6 +672,149 @@ def decode_sweep(model: TransformerLM,
 
 
 @dataclass(frozen=True)
+class SpecPoint:
+    """One speculative (or target-only baseline) serving measurement."""
+
+    draft: str                   # draft model name; "-" = target-only
+    k: int                       # tokens drafted per step; 0 = baseline
+    batch_size: int
+    max_new_tokens: int
+    decode_tokens: int
+    decode_seconds: float
+    spec_proposed: int
+    spec_accepted: int
+
+    @property
+    def decode_tokens_per_s(self) -> float:
+        return self.decode_tokens / self.decode_seconds \
+            if self.decode_seconds else 0.0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.spec_accepted / self.spec_proposed \
+            if self.spec_proposed else 0.0
+
+
+@dataclass(frozen=True)
+class SpecReport:
+    """Speculative vs target-only decode over a k x batch x pair grid."""
+
+    target: str
+    kv_cache: str
+    policy: str
+    draft_kv_cache: str
+    points: tuple[SpecPoint, ...]
+
+    def point(self, draft: str, k: int, batch_size: int) -> SpecPoint:
+        for candidate in self.points:
+            if (candidate.draft == draft and candidate.k == k
+                    and candidate.batch_size == batch_size):
+                return candidate
+        raise KeyError(f"no point for draft={draft!r} k={k} "
+                       f"batch={batch_size}")
+
+    def speedup(self, draft: str, k: int, batch_size: int) -> float:
+        """Speculative decode tok/s over the same-batch target-only run."""
+        base = self.point("-", 0, batch_size).decode_tokens_per_s
+        spec = self.point(draft, k, batch_size).decode_tokens_per_s
+        return spec / base if base else 0.0
+
+    def rows(self) -> list[list[str]]:
+        out = []
+        for p in self.points:
+            spec = p.k > 0
+            out.append([p.draft, str(p.k) if spec else "-",
+                        str(p.batch_size),
+                        f"{p.decode_tokens_per_s:,.0f}",
+                        f"{p.acceptance_rate:.2f}" if spec else "-",
+                        (f"{self.speedup(p.draft, p.k, p.batch_size):.1f}x"
+                         if spec else "-")])
+        return out
+
+    def to_dict(self) -> dict:
+        points = []
+        for p in self.points:
+            entry = asdict(p)
+            entry["decode_tokens_per_s"] = p.decode_tokens_per_s
+            if p.k > 0:
+                entry["acceptance_rate"] = p.acceptance_rate
+                entry["speedup_vs_target_only"] = self.speedup(
+                    p.draft, p.k, p.batch_size)
+            points.append(entry)
+        return {"target": self.target, "kv_cache": self.kv_cache,
+                "policy": self.policy,
+                "draft_kv_cache": self.draft_kv_cache, "points": points}
+
+
+def spec_point(target: TransformerLM, draft: TransformerLM | None,
+               prompts: list[np.ndarray], k: int, batch_size: int,
+               max_new_tokens: int, kv_cache: str = "paged",
+               policy: str = "exact", draft_kv_cache: str = "dense",
+               block_size: int = 16, draft_name: str = "-") -> SpecPoint:
+    """Serve one wave speculatively (or target-only when ``k == 0``)."""
+    speculative = None
+    if k > 0:
+        if draft is None:
+            raise ValueError("k > 0 needs a draft model")
+        speculative = SpeculativeConfig(draft_model=draft, k=k,
+                                        policy=policy,
+                                        draft_kv_cache=draft_kv_cache)
+    engine, _latency = serve_session(target, prompts[:batch_size],
+                                     max_new_tokens, batch_size,
+                                     kv_cache=kv_cache,
+                                     block_size=block_size,
+                                     speculative=speculative)
+    stats = engine.stats
+    return SpecPoint(draft=draft_name if k > 0 else "-", k=k,
+                     batch_size=batch_size,
+                     max_new_tokens=max_new_tokens,
+                     decode_tokens=stats.decode_tokens,
+                     decode_seconds=stats.decode_seconds,
+                     spec_proposed=stats.spec_proposed,
+                     spec_accepted=stats.spec_accepted)
+
+
+def spec_sweep(target: TransformerLM,
+               drafts: list[tuple[str, TransformerLM]],
+               prompts: list[np.ndarray],
+               ks: tuple[int, ...] = (2, 4, 8),
+               batch_sizes: tuple[int, ...] = (1, 2, 4),
+               max_new_tokens: int = 32, kv_cache: str = "paged",
+               policy: str = "exact", draft_kv_cache: str = "dense",
+               block_size: int = 16) -> SpecReport:
+    """Speculative vs target-only decode tok/s over a k x batch grid.
+
+    Each batch size first serves a target-only baseline wave, then the
+    same wave with every ``(draft, k)`` combination; the report's
+    speedups divide matching waves, so the draft/verify pipeline is the
+    only variable.  Prompts should be in-distribution for the model
+    pair (see :func:`corpus_prompts`) — acceptance, and therefore the
+    speedup, collapses on token sequences neither model has modelled.
+    """
+    limit = target.config.max_seq_len
+    longest = max(len(p) for p in prompts)
+    if longest + max_new_tokens > limit:
+        raise ValueError(f"prompt length {longest} + {max_new_tokens} new "
+                         f"tokens exceeds the target's "
+                         f"max_seq_len={limit}")
+    points = []
+    for batch_size in batch_sizes:
+        points.append(spec_point(target, None, prompts, 0, batch_size,
+                                 max_new_tokens, kv_cache=kv_cache,
+                                 block_size=block_size))
+        for draft_name, draft in drafts:
+            for k in ks:
+                points.append(spec_point(
+                    target, draft, prompts, k, batch_size,
+                    max_new_tokens, kv_cache=kv_cache, policy=policy,
+                    draft_kv_cache=draft_kv_cache, block_size=block_size,
+                    draft_name=draft_name))
+    return SpecReport(target=target.config.name, kv_cache=kv_cache,
+                      policy=policy, draft_kv_cache=draft_kv_cache,
+                      points=tuple(points))
+
+
+@dataclass(frozen=True)
 class StreamLatencyPoint:
     """Inter-token latency of one streamed engine configuration."""
 
@@ -887,6 +1090,19 @@ def main(argv: list[str] | None = None) -> None:
                              "vs chunked prefill p95 inter-token latency "
                              "while long prompts land mid-decode) instead "
                              "of the throughput sweep")
+    parser.add_argument("--spec", action="store_true",
+                        help="run the speculative-decoding sweep (draft/"
+                             "target pairs over a k x batch grid, vs "
+                             "target-only decode) instead of the "
+                             "throughput sweep")
+    parser.add_argument("--drafts", default=None,
+                        help="comma list of zoo draft model names for "
+                             "--spec (default llama-sim-3b; ignored with "
+                             "--smoke, which pairs two untrained tiny "
+                             "models)")
+    parser.add_argument("--ks", default=None,
+                        help="comma list of draft lengths k for --spec "
+                             "(default 2,4,8; 2 with --smoke)")
     parser.add_argument("--chunk-tokens", type=int, default=128,
                         help="prefill chunk budget for --latency "
                              "(default 128)")
@@ -926,16 +1142,64 @@ def main(argv: list[str] | None = None) -> None:
         name = "tiny (untrained)"
 
     if sum((args.mem, args.stream, args.prefix, args.decode,
-            args.latency)) > 1:
-        parser.error("--mem, --stream, --prefix, --decode, and --latency "
-                     "are separate sweeps; pick one")
+            args.latency, args.spec)) > 1:
+        parser.error("--mem, --stream, --prefix, --decode, --latency, and "
+                     "--spec are separate sweeps; pick one")
     if args.context_lens and not args.decode:
         parser.error("--context-lens only applies to --decode")
+    if (args.drafts or args.ks) and not args.spec:
+        parser.error("--drafts/--ks only apply to --spec")
     if args.json and not (args.mem or args.stream or args.prefix
-                          or args.decode or args.latency):
+                          or args.decode or args.latency or args.spec):
         parser.error("--json requires --mem, --stream, --prefix, --decode, "
-                     "or --latency (the throughput sweep has no JSON "
-                     "report)")
+                     "--latency, or --spec (the throughput sweep has no "
+                     "JSON report)")
+    if args.spec:
+        if args.num_prompts is not None:
+            parser.error("--num-prompts has no effect with --spec (each "
+                         "point serves one full wave of batch-size "
+                         "prompts); use --batch-sizes")
+        batch_sizes = tuple(int(b) for b in
+                            (args.batch_sizes
+                             or ("1,2" if args.smoke else "1,2,4"))
+                            .split(","))
+        ks = tuple(int(k) for k in
+                   (args.ks or ("2" if args.smoke else "2,4,8"))
+                   .split(","))
+        max_new = (args.max_new_tokens if args.max_new_tokens is not None
+                   else (8 if args.smoke else 48))
+        if args.smoke:
+            # Mechanics-only pairing: two untrained tiny models sharing a
+            # vocabulary.  Acceptance is near zero (their argmaxes are
+            # unrelated), which exercises the rollback path hard — the
+            # point of the smoke run is the machinery, not the speedup.
+            from repro.models.configs import tiny_config
+            target, target_name = model, name
+            drafts = [("tiny-draft (untrained)", TransformerLM(
+                tiny_config(vocab_size=256, seed=1)))]
+            prompts = bench_prompts(target.config.vocab_size,
+                                    num=max(batch_sizes))
+        else:
+            from repro.models import load_model
+            target_name = args.model or "llama-sim-13b"
+            zoo = load_model(target_name)
+            target = zoo.model
+            draft_names = (args.drafts or "llama-sim-3b").split(",")
+            drafts = [(d, load_model(d).model) for d in draft_names]
+            prompt_len = min(
+                256, target.config.max_seq_len - max_new - max(ks) - 1)
+            prompts = corpus_prompts(zoo.tokenizer, num=max(batch_sizes),
+                                     prompt_len=prompt_len)
+        report = spec_sweep(target, drafts, prompts, ks=ks,
+                            batch_sizes=batch_sizes,
+                            max_new_tokens=max_new)
+        print(f"speculative decoding on {target_name} "
+              f"({max_new} new tokens per sequence)")
+        print(format_table(["draft", "k", "batch", "decode tok/s",
+                            "accept", "speedup"], report.rows()))
+        if args.json:
+            export_report(report, args.json, target_name, "paged")
+        return
     if args.latency:
         if args.num_prompts is not None:
             parser.error("--num-prompts has no effect with --latency (the "
@@ -978,9 +1242,7 @@ def main(argv: list[str] | None = None) -> None:
         print(f"chunked tokens identical to one-shot: "
               f"{report.tokens_identical}")
         if args.json:
-            with open(args.json, "w") as handle:
-                json.dump(report.to_dict(), handle, indent=2)
-            print(f"wrote {args.json}")
+            export_report(report, args.json, name, "paged,fineq")
         return
     if args.decode:
         if args.num_prompts is not None:
@@ -1022,9 +1284,7 @@ def main(argv: list[str] | None = None) -> None:
                             "speedup", "peak scratch B", "dequant hit"],
                            report.rows()))
         if args.json:
-            with open(args.json, "w") as handle:
-                json.dump(report.to_dict(), handle, indent=2)
-            print(f"wrote {args.json}")
+            export_report(report, args.json, name, "paged,fineq")
         return
     if args.prefix:
         if args.num_prompts is not None:
@@ -1048,9 +1308,7 @@ def main(argv: list[str] | None = None) -> None:
                             "bytes/token", "decode tok/s", "accel tok/s"],
                            report.rows()))
         if args.json:
-            with open(args.json, "w") as handle:
-                json.dump(report.to_dict(), handle, indent=2)
-            print(f"wrote {args.json}")
+            export_report(report, args.json, name, "paged,fineq")
         return
     if args.stream:
         batches = tuple(int(b) for b in
@@ -1066,9 +1324,7 @@ def main(argv: list[str] | None = None) -> None:
                             "inter-token ms", "p95 ms", "stream tok/s"],
                            report.rows()))
         if args.json:
-            with open(args.json, "w") as handle:
-                json.dump(report.to_dict(), handle, indent=2)
-            print(f"wrote {args.json}")
+            export_report(report, args.json, name, "paged")
         return
     if args.mem:
         if args.num_prompts is not None:
@@ -1086,9 +1342,7 @@ def main(argv: list[str] | None = None) -> None:
         print(format_table(["mode", "batch", "decode tok/s", "bytes/token",
                             "allocated", "dense fp32"], report.rows()))
         if args.json:
-            with open(args.json, "w") as handle:
-                json.dump(report.to_dict(), handle, indent=2)
-            print(f"wrote {args.json}")
+            export_report(report, args.json, name, "paged,fineq")
         return
 
     # `is None` (not `or`): an explicit 0 must reach the engine's loud

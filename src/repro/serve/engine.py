@@ -112,6 +112,8 @@ from repro.nn.model import TransformerLM
 from repro.serve.prefix import PrefixStore
 from repro.serve.scheduler import (RunningInfo, Scheduler, SchedulerView,
                                    get_scheduler)
+from repro.serve.spec import (SpeculativeConfig, SpeculativeDecoder,
+                              leftover_accept, sample_from_probs)
 
 #: Engine cache backends: constructor keyed by the ``kv_cache`` argument.
 KV_CACHE_MODES = ("paged", "fineq", "dense")
@@ -292,6 +294,11 @@ class EngineStats:
     prefill_tokens_deferred: int = 0
     prefill_dequant_hits: int = 0
     prefill_dequant_misses: int = 0
+    # Speculative decoding: draft tokens proposed vs accepted by the
+    # target's verify (the bonus token each verify emits on top of the
+    # accepted run counts in decode_tokens, not here).
+    spec_proposed: int = 0
+    spec_accepted: int = 0
 
     @property
     def prefill_tokens_per_s(self) -> float:
@@ -339,6 +346,12 @@ class EngineStats:
         lookups = self.prefill_dequant_hits + self.prefill_dequant_misses
         return self.prefill_dequant_hits / lookups if lookups else 0.0
 
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of drafted tokens the target's verify accepted."""
+        return self.spec_accepted / self.spec_proposed \
+            if self.spec_proposed else 0.0
+
 
 class StepTrace(NamedTuple):
     """One decode step's workload, for accelerator projection.
@@ -356,6 +369,17 @@ class StepTrace(NamedTuple):
     ``prefill_tokens`` distinguishes prefill-chunk steps (``tokens`` of
     the step's forward were prompt-chunk writes) from decode steps
     (``0``; there ``tokens == rows``).
+
+    Speculative decode steps keep ``tokens`` = tokens the step actually
+    *emitted* (committed after verify), so decode-step token sums agree
+    with ``EngineStats.decode_tokens`` whether or not the step was
+    speculative.  The work actually paid rides in the extra fields:
+    ``spec_verify_tokens`` is the verify forward's total token
+    positions (the target GEMM width), ``spec_draft_tokens`` the draft
+    model's forwarded positions (catch-up plus the ``k`` proposal
+    loop), so ``repro.hw.workloads.project_decode_trace`` can charge
+    draft and verify GEMMs at their real widths while dividing cycles
+    by tokens a consumer saw.
     """
 
     rows: int
@@ -363,6 +387,10 @@ class StepTrace(NamedTuple):
     kv_bytes: int
     kv_bytes_streamed: int = -1
     prefill_tokens: int = 0
+    spec_proposed: int = 0
+    spec_accepted: int = 0
+    spec_draft_tokens: int = 0
+    spec_verify_tokens: int = 0
 
 
 @dataclass
@@ -422,6 +450,79 @@ def apply_top_k_top_p(scaled: np.ndarray, top_k: np.ndarray,
                                     axis=-1)
         keep &= scaled >= cutoff
     return np.where(keep, scaled, -np.inf)
+
+
+def _filtered_probs(logits: np.ndarray, params: list) -> np.ndarray:
+    """Per-row post-filter sampling distributions for ``(batch, vocab)``
+    logits: temperature scaling and top-k/top-p masking followed by
+    softmax, vectorized over the non-greedy rows; greedy rows collapse
+    to a one-hot at their argmax.  These are the distributions both
+    sampling (CDF inversion) and the speculative ``"leftover"``
+    acceptance rule (target ``p`` and draft ``q``) operate on."""
+    greedy = logits.argmax(axis=-1)
+    probs = np.zeros(logits.shape)
+    probs[np.arange(len(logits)), greedy] = 1.0
+    hot_idx = np.array([i for i, p in enumerate(params) if not p.greedy],
+                       dtype=np.int64)
+    if len(hot_idx) == 0:
+        return probs
+    hot_params = [params[i] for i in hot_idx]
+    vocab = logits.shape[-1]
+    temperatures = np.array([p.temperature for p in hot_params])
+    top_k = np.array([p.top_k or vocab for p in hot_params])
+    top_p = np.array([p.top_p if p.top_p is not None else 1.0
+                      for p in hot_params])
+    scaled = apply_top_k_top_p(logits[hot_idx] / temperatures[:, None],
+                               top_k, top_p)
+    scaled = scaled - scaled.max(axis=-1, keepdims=True)
+    hot = np.exp(scaled)
+    hot /= hot.sum(axis=-1, keepdims=True)
+    probs[hot_idx] = hot
+    return probs
+
+
+def _sample_tokens(logits: np.ndarray, params: list, rngs: list,
+                   return_probs: bool = False):
+    """Sample one token per row of ``(batch, vocab)`` logits.
+
+    The engine's sampling math with explicit per-row params and RNG
+    streams, shared by regular decode, speculative draft proposals, and
+    speculative verify re-sampling.  Greedy rows take their argmax and
+    consume no RNG; each non-greedy row inverts its own masked CDF at a
+    draw from its *private* generator — exactly one draw per row — so a
+    request's sample stream depends only on its own params and logits,
+    never on batch composition.
+
+    ``return_probs=True`` additionally returns the
+    :func:`_filtered_probs` distributions (the ``"leftover"`` policy
+    needs the draft's proposal distribution alongside its sample).
+    """
+    greedy = logits.argmax(axis=-1)
+    hot_idx = np.array([i for i, p in enumerate(params) if not p.greedy],
+                       dtype=np.int64)
+    if len(hot_idx) == 0:
+        return (greedy, _filtered_probs(logits, params)) if return_probs \
+            else greedy
+    # Only the hot rows pay the vocab-wide sort/softmax; greedy rows
+    # already have their argmax.
+    probs = _filtered_probs(logits[hot_idx], [params[i] for i in hot_idx])
+    draws = np.array([rngs[i].random() for i in hot_idx])
+    # Smallest index whose cumulative mass exceeds the draw: masked
+    # tokens carry exactly zero mass, so ties (cumsum flat) can never
+    # select them — including a draw of exactly 0.0 with token 0
+    # masked.  Float rounding can still leave the total mass a hair
+    # under a draw near 1.0, so clamp onto the last *kept* token.
+    vocab = logits.shape[-1]
+    sampled = (probs.cumsum(axis=-1) <= draws[:, None]).sum(axis=-1)
+    last_kept = vocab - 1 - np.argmax(probs[:, ::-1] > 0, axis=-1)
+    out = greedy.copy()
+    out[hot_idx] = np.minimum(sampled, last_kept)
+    if return_probs:
+        full = np.zeros(logits.shape)
+        full[np.arange(len(logits)), greedy] = 1.0
+        full[hot_idx] = probs
+        return out, full
+    return out
 
 
 class GenerationEngine:
@@ -485,6 +586,16 @@ class GenerationEngine:
         decides which prefilling rows the budget feeds first.  ``None``
         prefills every admitted prompt in one shot (the pre-chunking
         behaviour).
+    speculative:
+        A :class:`~repro.serve.spec.SpeculativeConfig` to decode
+        speculatively: each decode step drafts ``k`` tokens per row
+        with the (cheap) draft model, verifies all ``k + 1`` positions
+        in one multi-token target forward over the block-resident read
+        path, commits the accepted prefix, and rolls the caches back
+        past the first rejection (``truncate_rows``).  Greedy output is
+        token-identical to target-only decode; the default ``"exact"``
+        policy keeps sampled output identical too.  ``None`` (default)
+        decodes one token per step.
     """
 
     def __init__(self, model: TransformerLM, max_batch_size: int = 8,
@@ -499,7 +610,8 @@ class GenerationEngine:
                  record_trace: bool = False,
                  block_decode: bool = True,
                  dequant_cache_bytes: int | None = None,
-                 prefill_chunk_tokens: int | None = 128):
+                 prefill_chunk_tokens: int | None = 128,
+                 speculative: SpeculativeConfig | None = None):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if prefill_chunk_tokens is not None and prefill_chunk_tokens < 1:
@@ -526,6 +638,11 @@ class GenerationEngine:
         self.block_decode = block_decode
         self.dequant_cache_bytes = dequant_cache_bytes
         self.prefill_chunk_tokens = prefill_chunk_tokens
+        if speculative is not None:
+            speculative.validate_target(model)
+        self.speculative = speculative
+        self._spec = (SpeculativeDecoder(self, speculative)
+                      if speculative is not None else None)
         self._prefill_budget: int | None = prefill_chunk_tokens
         self.trace: list[StepTrace] = []
         self.stats = EngineStats()
@@ -706,19 +823,25 @@ class GenerationEngine:
             if any(slot is not None and not slot.prefilling
                    for slot in self._slots):
                 self._ensure_decode_headroom()
-                events += self._decode_step()
+                events += (self._spec_decode_step()
+                           if self._spec is not None else self._decode_step())
         return events
 
     def _ensure_decode_headroom(self) -> None:
         """Preempt (if the policy allows) when the next decode step needs
         blocks the soft pool budget cannot grant: rows about to cross a
-        block boundary each allocate one block."""
+        block boundary each allocate one block (a speculative step may
+        write up to ``k + 1`` tokens per row, crossing several)."""
         cache = self._cache
         if not isinstance(cache, PagedKVCache) or cache.max_blocks is None:
             return
-        crossing = sum(1 for row, slot in enumerate(self._slots)
-                       if slot is not None and not slot.prefilling
-                       and self._lengths[row] % cache.block_size == 0)
+        bs = cache.block_size
+        extra = (self._spec.config.k + 1) if self._spec is not None else 1
+        crossing = sum(
+            -(-(int(self._lengths[row]) + extra) // bs)
+            - -(-int(self._lengths[row]) // bs)
+            for row, slot in enumerate(self._slots)
+            if slot is not None and not slot.prefilling)
         available = cache.available_blocks()
         if available is None or crossing <= available:
             return
@@ -845,6 +968,280 @@ class GenerationEngine:
                 self._retire(row, reason)
         return events
 
+    def _spec_decode_step(self) -> list[TokenEvent]:
+        """One speculative decode step: draft, verify, commit/roll back.
+
+        Per active row with committed context ``L`` and pending token
+        ``t`` (token index ``L``, not yet written): the draft model
+        proposes ``d_1..d_k`` continuations, and one multi-token target
+        forward writes ``[t, d_1..d_k]`` at positions ``L..L+k`` and
+        returns logits for every position — position ``L+i``'s logits
+        are the target's next-token distribution after ``d_i``, exactly
+        what target-only decode would compute there.  Tokens emit in
+        stream order (the target's own choice at each position, drawn
+        with the request's private RNG under the default ``"exact"``
+        policy) while the emitted token keeps matching the next draft;
+        the first mismatch, terminal token, or the post-run bonus token
+        ends the row's run.  The caches then truncate back to the
+        committed length (:meth:`PagedKVCache.truncate_rows` — shared
+        prefix blocks are refcount-protected, uncommitted quantized
+        blocks invalidate their dequant-memo entries).
+
+        On the quantized backend the verify runs as *clone-rows decode*:
+        each verify position becomes its own width-1 batch row through
+        the standard ``write_token`` + block-decode read path, because
+        BLAS GEMMs are bit-stable across the batch axis but not across
+        the query-width axis — a width-``k+1`` span forward would write
+        K/V that differ from single-token decode's by ulps, and
+        quantizing such a block amplifies an ulp into a full
+        quantization step, breaking greedy parity.  Clone rounds are
+        still chunked at block boundaries so ``write_token``'s own lazy
+        flush quantizes a block only after every token in it is already
+        accepted (rows reach round ``r + 1`` only by fully accepting
+        round ``r``); rollbacks therefore always land inside the
+        buffered block and never release pool blocks mid-request.
+        """
+        cache = self._cache
+        slots = self._slots
+        spec = self._spec
+        batch = self.max_batch_size
+        active_rows = np.array([row for row, slot in enumerate(slots)
+                                if slot is not None and not slot.prefilling],
+                               dtype=np.int64)
+        n = len(active_rows)
+        lengths = self._lengths[active_rows].copy()
+        limit = min(self.model.config.max_seq_len,
+                    spec.draft.config.max_seq_len)
+        k_eff = np.zeros(n, dtype=np.int64)
+        for j, row in enumerate(active_rows):
+            slot = slots[row]
+            remaining = slot.request.params.max_new_tokens \
+                - len(slot.generated)
+            k_eff[j] = max(0, min(spec.config.k, remaining - 1,
+                                  limit - int(lengths[j]) - 1))
+        if not k_eff.any():
+            # Nobody can usefully draft (every request is on its last
+            # token, or at the context-window limit): plain decode is
+            # the same work without the verify detour.
+            return self._decode_step()
+
+        start_t = time.perf_counter()
+        draft_idx = np.flatnonzero(k_eff > 0)
+        proposals, qvecs, draft_tokens = spec.propose(
+            active_rows[draft_idx],
+            [slots[row] for row in active_rows[draft_idx]],
+            lengths[draft_idx], k_eff[draft_idx])
+        # Per-row verify token list: [pending, d_1..d_k].  Rows that
+        # could not draft fold in as width-1 verifies (a plain decode
+        # through the same forward).
+        verify: list[list[int]] = [
+            [int(self._pending[row])] for row in active_rows]
+        qrow: list = [None] * n
+        for jj, j in enumerate(draft_idx):
+            verify[j] += [int(t) for t in proposals[jj]]
+            if qvecs is not None:
+                qrow[j] = qvecs[jj]
+
+        params = [slots[row].request.params for row in active_rows]
+        rngs = [slots[row].rng for row in active_rows]
+        emitted: list[list[int]] = [[] for _ in range(n)]
+        reasons: list[str | None] = [None] * n
+        done = np.zeros(n, dtype=bool)
+        offset = np.zeros(n, dtype=np.int64)
+        written = lengths.copy()
+        accepted_step = 0
+        verify_tokens = 0
+        need_probs = spec.config.policy == "leftover"
+        is_quant = isinstance(cache, QuantizedPagedKVCache)
+        bs = cache.block_size if isinstance(cache, PagedKVCache) else 0
+        max_pos = self.model.config.max_seq_len - 1
+        kv_streamed = 0
+        kv_streamed_valid = False
+        scratch = 0
+
+        while not done.all():
+            live = np.flatnonzero(~done)
+            starts = lengths[live] + offset[live]
+            rem = np.array([len(verify[j]) - int(offset[j]) for j in live],
+                           dtype=np.int64)
+            take = np.minimum(rem, bs - starts % bs) if is_quant else rem
+            rows_arr = active_rows[live]
+            width = int(take.max())
+            total = max(int((starts + take).max()), cache.seq_len)
+            if is_quant:
+                # Clone-rows decode: verify position L+i of a row is its
+                # own width-1 batch row, so every projection GEMM and
+                # cache write is bitwise the one sequential decode runs
+                # (batch-axis GEMM stability), and write_token's own
+                # boundary flush quantizes blocks at the same points.
+                clone_rows = np.repeat(rows_arr, take)
+                clone_pos = np.concatenate(
+                    [np.arange(int(s), int(s) + int(t))
+                     for s, t in zip(starts, take)])
+                clone_toks = np.concatenate(
+                    [np.asarray(verify[j][int(offset[j]):
+                                          int(offset[j]) + int(t)])
+                     for j, t in zip(live, take)]).astype(np.int64)
+                allow = np.arange(total)[None, :] <= clone_pos[:, None]
+                kv_mask = np.where(allow, 0.0, -np.inf).astype(
+                    np.float32)[:, None, None, :]
+                out = self.model(clone_toks[:, None], cache=cache,
+                                 positions=clone_pos[:, None],
+                                 kv_mask=kv_mask, decode_rows=clone_rows)
+                flat = out.data[:, -1]
+                logits_arr = np.zeros((len(live), width, flat.shape[-1]),
+                                      dtype=flat.dtype)
+                pos0 = 0
+                for jj, t in enumerate(take):
+                    logits_arr[jj, :int(t)] = flat[pos0:pos0 + int(t)]
+                    pos0 += int(t)
+            else:
+                toks = np.zeros((len(live), width), dtype=np.int64)
+                positions = np.zeros((len(live), width), dtype=np.int64)
+                offs = np.arange(width)
+                for jj, j in enumerate(live):
+                    o, t = int(offset[j]), int(take[jj])
+                    toks[jj, :t] = verify[j][o:o + t]
+                    positions[jj] = np.minimum(int(starts[jj]) + offs,
+                                               max_pos)
+                query_pos = starts[:, None] + offs[None, :]
+                allow = np.arange(total)[None, None, :] \
+                    <= query_pos[:, :, None]
+                kv_mask = np.where(allow, 0.0,
+                                   -np.inf).astype(np.float32)[:, None]
+                logits = self.model(toks, cache=cache, cache_rows=rows_arr,
+                                    cache_lens=take, cache_starts=starts,
+                                    positions=positions, kv_mask=kv_mask)
+                logits_arr = logits.data
+            verify_tokens += int(take.sum())
+            written[live] = starts + take
+            if isinstance(cache, PagedKVCache):
+                read = cache.take_read_stats()
+                if cache.block_decode and read.logical_bytes:
+                    scratch = max(scratch, read.peak_scratch_bytes)
+                    kv_streamed += read.streamed_bytes
+                    kv_streamed_valid = True
+                    self.stats.decode_bytes_not_gathered += \
+                        read.bytes_not_gathered
+                    self.stats.dequant_cache_hits += read.dequant_hits
+                    self.stats.dequant_cache_misses += read.dequant_misses
+
+            # Acceptance, offset by offset: every live row emits exactly
+            # one token per offset it reaches, in stream order, so each
+            # request's RNG draws line up with target-only decode.
+            stopped = np.zeros(len(live), dtype=bool)
+            for o in range(width):
+                sub = [jj for jj in range(len(live))
+                       if take[jj] > o and not stopped[jj]]
+                if not sub:
+                    break
+                sub_rows = [int(live[jj]) for jj in sub]
+                sub_logits = logits_arr[sub, o]
+                if need_probs:
+                    choices = None
+                    pvecs = _filtered_probs(sub_logits,
+                                            [params[j] for j in sub_rows])
+                else:
+                    choices = _sample_tokens(sub_logits,
+                                             [params[j] for j in sub_rows],
+                                             [rngs[j] for j in sub_rows])
+                for idx, jj in enumerate(sub):
+                    j = int(live[jj])
+                    g = int(offset[j]) + o       # global verify offset
+                    has_draft = g + 1 < len(verify[j])
+                    par = params[j]
+                    if need_probs and not par.greedy:
+                        if has_draft:
+                            tok, ok = leftover_accept(
+                                pvecs[idx], qrow[j][g], verify[j][g + 1],
+                                rngs[j])
+                        else:  # bonus position: a plain target sample
+                            tok, ok = sample_from_probs(pvecs[idx],
+                                                        rngs[j]), False
+                    else:
+                        tok = int(sub_logits[idx].argmax()) \
+                            if need_probs else int(choices[idx])
+                        ok = has_draft and tok == verify[j][g + 1]
+                    emitted[j].append(int(tok))
+                    if ok:
+                        accepted_step += 1
+                    reason = self._token_finish_reason(
+                        par, int(tok),
+                        len(slots[active_rows[j]].generated)
+                        + len(emitted[j]),
+                        int(lengths[j]) + g + 1)
+                    if reason is not None:
+                        reasons[j] = reason
+                        stopped[jj] = True
+                        done[j] = True
+                    elif not ok:
+                        stopped[jj] = True
+                        done[j] = True
+            # Rows that accepted their whole sub-span continue into the
+            # next round (only possible with verify tokens left: the
+            # bonus position always stops its row above).
+            for jj in range(len(live)):
+                if not stopped[jj]:
+                    offset[live[jj]] += take[jj]
+
+        # --- commit/rollback: truncate past the committed lengths ---
+        new_lens = lengths + np.array([len(e) for e in emitted],
+                                      dtype=np.int64)
+        rollback = np.flatnonzero(written > new_lens)
+        if len(rollback):
+            cache.truncate_rows(active_rows[rollback], new_lens[rollback])
+        spec.commit(active_rows[draft_idx], new_lens[draft_idx])
+        self._lengths[active_rows] = new_lens
+
+        total_emitted = int(new_lens.sum() - lengths.sum())
+        self.stats.decode_seconds += time.perf_counter() - start_t
+        self.stats.decode_tokens += total_emitted
+        self.stats.decode_steps += 1
+        self.stats.decode_slot_steps += batch
+        self.stats.spec_proposed += int(k_eff.sum())
+        self.stats.spec_accepted += accepted_step
+        if isinstance(cache, PagedKVCache):
+            self.stats.decode_peak_scratch_bytes = max(
+                self.stats.decode_peak_scratch_bytes, scratch)
+            live_tokens = cache.cached_tokens
+        else:
+            live_tokens = int(self._lengths[active_rows].sum())
+        if live_tokens > self.stats.kv_peak_tokens:
+            self.stats.kv_peak_tokens = live_tokens
+            self.stats.kv_peak_used_bytes = cache.used_bytes()
+            self.stats.kv_peak_physical_bytes = (
+                cache.physical_used_bytes()
+                if isinstance(cache, PagedKVCache) else cache.used_bytes())
+        if self.record_trace:
+            kv_bytes = cache.used_bytes()
+            self.trace.append(StepTrace(
+                rows=n, tokens=total_emitted, kv_bytes=kv_bytes,
+                kv_bytes_streamed=kv_streamed if kv_streamed_valid
+                else kv_bytes,
+                spec_proposed=int(k_eff.sum()),
+                spec_accepted=accepted_step,
+                spec_draft_tokens=draft_tokens,
+                spec_verify_tokens=verify_tokens))
+        allocated = (cache.allocated_bytes(bytes_per_element=4)
+                     if isinstance(cache, KVCache)
+                     else cache.allocated_bytes())
+        self.stats.kv_peak_allocated_bytes = max(
+            self.stats.kv_peak_allocated_bytes, allocated)
+
+        events: list[TokenEvent] = []
+        for j, row in enumerate(active_rows):
+            slot = slots[row]
+            rid = slot.request.request_id
+            for idx, tok in enumerate(emitted[j]):
+                slot.generated.append(int(tok))
+                final = idx == len(emitted[j]) - 1
+                events.append(TokenEvent(rid, int(tok),
+                                         reasons[j] if final else None))
+            self._pending[row] = int(emitted[j][-1])
+            if reasons[j] is not None:
+                self._retire(row, reasons[j])
+        return events
+
     def _scheduler_view(self, free_slots: int | None = None) -> SchedulerView:
         """Snapshot of engine state for one scheduler decision."""
         if free_slots is None:
@@ -965,6 +1362,8 @@ class GenerationEngine:
         self._live.pop(slot.request.request_id, None)
         self._cache.free_rows(np.array([row]))
         self._cache.trim(int(self._lengths.max()))
+        if self._spec is not None:
+            self._spec.drop_rows(np.array([row]))
         self.stats.preemptions += 1
 
     def _admit(self) -> list[TokenEvent]:
@@ -1189,16 +1588,25 @@ class GenerationEngine:
     def _finish_reason(self, row: int) -> str | None:
         """Terminal state for the row's newest token, or None to continue."""
         slot = self._slots[row]
-        params = slot.request.params
-        token = slot.generated[-1]
+        return self._token_finish_reason(slot.request.params,
+                                         slot.generated[-1],
+                                         len(slot.generated),
+                                         int(self._lengths[row]))
+
+    def _token_finish_reason(self, params: SamplingParams, token: int,
+                             generated: int, context_len: int) -> str | None:
+        """:meth:`_finish_reason` for a token not yet committed to its
+        slot: ``generated`` counts the request's tokens *including* this
+        one and ``context_len`` is the committed context after it — the
+        state a speculative verify is about to commit."""
         if self.eos_token is not None and token == self.eos_token:
             return "eos"
         if token in params.stop_tokens:
             return "stop"
-        if len(slot.generated) >= params.max_new_tokens:
+        if generated >= params.max_new_tokens:
             return "length"
-        if self._lengths[row] >= self.model.config.max_seq_len:
-            # The next decode would write at position ``lengths[row]``,
+        if context_len >= self.model.config.max_seq_len:
+            # The next decode would write at position ``context_len``,
             # past the RoPE table (valid positions are < max_seq_len).
             return "max_seq_len"
         return None
@@ -1223,45 +1631,25 @@ class GenerationEngine:
         # forever gathering (and masking) the longest-ever row's width.
         self._cache.free_rows(np.array([row]))
         self._cache.trim(int(self._lengths.max()))
+        if self._spec is not None:
+            self._spec.drop_rows(np.array([row]))
 
     # ------------------------------------------------------------------ #
     # sampling
     # ------------------------------------------------------------------ #
     def _sample(self, logits: np.ndarray, slots: list[_Slot]) -> np.ndarray:
-        """Sample one token per row of ``(batch, vocab)`` logits.
+        """Sample one token per row of ``(batch, vocab)`` logits from
+        each slot's params and private RNG stream (see
+        :func:`_sample_tokens`)."""
+        return _sample_tokens(logits,
+                              [slot.request.params for slot in slots],
+                              [slot.rng for slot in slots])
 
-        Temperature scaling and top-k/top-p masking are vectorized across
-        rows; each non-greedy row then inverts its own masked CDF at a
-        draw from its *private* generator, so a request's sample stream
-        depends only on its own params and logits.
-        """
-        greedy = logits.argmax(axis=-1)
-        params = [slot.request.params for slot in slots]
-        hot_idx = np.array([i for i, p in enumerate(params) if not p.greedy],
-                           dtype=np.int64)
-        if len(hot_idx) == 0:
-            return greedy
-        # Only the hot rows pay the vocab-wide sort/softmax; greedy rows
-        # already have their argmax.
-        hot_params = [params[i] for i in hot_idx]
-        vocab = logits.shape[-1]
-        temperatures = np.array([p.temperature for p in hot_params])
-        top_k = np.array([p.top_k or vocab for p in hot_params])
-        top_p = np.array([p.top_p if p.top_p is not None else 1.0
-                          for p in hot_params])
-        scaled = apply_top_k_top_p(logits[hot_idx] / temperatures[:, None],
-                                   top_k, top_p)
-        scaled = scaled - scaled.max(axis=-1, keepdims=True)
-        probs = np.exp(scaled)
-        probs /= probs.sum(axis=-1, keepdims=True)
-        draws = np.array([slots[i].rng.random() for i in hot_idx])
-        # Smallest index whose cumulative mass exceeds the draw: masked
-        # tokens carry exactly zero mass, so ties (cumsum flat) can never
-        # select them — including a draw of exactly 0.0 with token 0
-        # masked.  Float rounding can still leave the total mass a hair
-        # under a draw near 1.0, so clamp onto the last *kept* token.
-        sampled = (probs.cumsum(axis=-1) <= draws[:, None]).sum(axis=-1)
-        last_kept = vocab - 1 - np.argmax(probs[:, ::-1] > 0, axis=-1)
-        out = greedy.copy()
-        out[hot_idx] = np.minimum(sampled, last_kept)
-        return out
+    def _sample_with(self, logits: np.ndarray, params: list, rngs: list,
+                     return_probs: bool = False):
+        """:func:`_sample_tokens` with explicit params/RNGs — the hook
+        the speculative decoder uses so draft proposals run the exact
+        sampling math the engine itself does (just on the draft's own
+        RNG streams)."""
+        return _sample_tokens(logits, params, rngs,
+                              return_probs=return_probs)

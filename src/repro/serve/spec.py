@@ -1,0 +1,355 @@
+"""Speculative decoding: cheap draft proposals, batched target verify.
+
+Batch-1–4 decode is latency-bound: every emitted token costs one full
+single-token target forward, and none of the serving machinery (batching,
+prefix sharing, block-resident reads, chunked prefill) can shorten that
+dependency chain.  Speculative decoding does: a small *draft* model
+autoregressively proposes ``k`` tokens against its own private cache,
+and the target model verifies all ``k + 1`` positions in **one**
+multi-token forward over the existing block-resident prefill read path —
+one target forward now emits ``accepted + 1`` tokens instead of one.
+
+This module owns the draft side and the acceptance math; the engine
+(:meth:`repro.serve.engine.GenerationEngine._spec_decode_step`) owns the
+verify forward, commit/rollback against the target cache, and event
+emission.  The split keeps every target-cache invariant in one place
+while the draft remains a self-contained model+cache pipeline:
+
+* :class:`SpeculativeConfig` — the user-facing knob (draft model, ``k``,
+  acceptance policy, draft cache backend).
+* :class:`SpeculativeDecoder` — per-row draft state: a private draft KV
+  cache (dense rectangle by default, FP32 paged optional — never
+  quantized, the draft is supposed to be cheap *and* exact), per-row
+  drafted-extent counters, and per-request draft RNG streams.
+
+Determinism: draft proposals for non-greedy requests are sampled from a
+*separate* per-request RNG stream (derived from ``params.seed`` with a
+fixed salt), never from the request's sampling stream.  Under the
+default ``"exact"`` policy the emitted tokens are drawn from the target
+logits with the request's own RNG — one draw per emitted token, in
+stream order — so the emitted stream is a pure function of the target
+logits and ``params.seed``, and speculative sampled output equals
+target-only sampled output token for token whatever the draft proposes.
+The ``"leftover"`` policy instead applies the standard
+accept-with-``min(1, p/q)`` + residual-distribution correction
+(Leviathan et al.): it preserves the target distribution exactly but
+consumes RNG draws on a different schedule, so its streams are
+reproducible (same seed, same stream) yet not token-identical to
+target-only runs.
+
+The draft cache never rolls back: after a verify the drafted extent is
+clamped to the committed prefix (``commit``), stale positions beyond it
+are masked by the next catch-up's causal mask and overwritten in place,
+and ``drop_rows`` (retire/cancel/preempt) frees the row outright — on a
+paged draft cache that returns real pool blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.nn.kv_cache import KVCache
+from repro.nn.model import TransformerLM
+from repro.nn.paged_kv_cache import PagedKVCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.serve.engine import GenerationEngine
+
+#: Acceptance policies: ``"exact"`` re-samples every position from the
+#: target (greedy rows: argmax prefix match; sampled rows: the request's
+#: own RNG stream, draw-for-draw identical to target-only decode);
+#: ``"leftover"`` is the standard speculative-sampling correction.
+SPEC_POLICIES = ("exact", "leftover")
+
+#: Draft cache backends.  The draft stays full precision by design —
+#: quantizing the *draft* would lower acceptance to save memory nobody
+#: is short of (the draft model is the small one).
+DRAFT_KV_CACHE_MODES = ("dense", "paged")
+
+#: Salt mixed into ``params.seed`` for the draft-proposal RNG stream, so
+#: draft draws can never collide with (or perturb) the request's own
+#: sampling stream.
+_DRAFT_SEED_SALT = 0x5BEC
+
+
+@dataclass(frozen=True)
+class SpeculativeConfig:
+    """Speculative-decoding knobs for :class:`GenerationEngine`.
+
+    Parameters
+    ----------
+    draft_model:
+        The proposal model.  Must share the target's vocabulary; should
+        be much cheaper per forward (``llama-sim-3b`` drafting for
+        ``llama-sim-13b`` is the intended pairing).
+    k:
+        Tokens drafted per decode step.  Each step then emits between 1
+        and ``k + 1`` tokens per row; larger ``k`` amortises the target
+        forward further but wastes draft work once the acceptance run
+        length is exceeded.
+    policy:
+        ``"exact"`` (default): emitted tokens are the target's own
+        choices at every position — greedy output is token-identical to
+        target-only decode, sampled output is draw-for-draw identical.
+        ``"leftover"``: classic speculative sampling (accept draft token
+        ``d`` with probability ``min(1, p(d)/q(d))``, else sample the
+        normalised residual ``max(0, p - q)``); target-distribution
+        exact, but the RNG consumption schedule differs from
+        target-only decode.
+    draft_kv_cache:
+        ``"dense"`` (default) or ``"paged"`` — the draft's private FP32
+        cache backend.
+    """
+
+    draft_model: TransformerLM
+    k: int = 4
+    policy: str = "exact"
+    draft_kv_cache: str = "dense"
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError("k must be >= 1 (tokens drafted per step)")
+        if self.policy not in SPEC_POLICIES:
+            raise ValueError(f"policy must be one of {SPEC_POLICIES}, "
+                             f"got {self.policy!r}")
+        if self.draft_kv_cache not in DRAFT_KV_CACHE_MODES:
+            raise ValueError(
+                f"draft_kv_cache must be one of {DRAFT_KV_CACHE_MODES}, "
+                f"got {self.draft_kv_cache!r}")
+
+    def validate_target(self, target: TransformerLM) -> None:
+        """Reject draft/target pairs that cannot verify each other."""
+        draft_vocab = self.draft_model.config.vocab_size
+        target_vocab = target.config.vocab_size
+        if draft_vocab != target_vocab:
+            raise ValueError(
+                "draft and target must share a vocabulary: draft has "
+                f"{draft_vocab} tokens, target has {target_vocab}")
+
+
+def sample_from_probs(probs: np.ndarray, rng: np.random.Generator) -> int:
+    """Invert the CDF of one probability vector at one RNG draw.
+
+    The scalar form of the engine's vectorized masked-CDF inversion:
+    zero-mass tokens can never be selected (their cumsum is flat) and
+    float rounding near 1.0 clamps onto the last kept token.
+    """
+    draw = rng.random()
+    sampled = int((np.cumsum(probs) <= draw).sum())
+    last_kept = len(probs) - 1 - int(np.argmax(probs[::-1] > 0))
+    return min(sampled, last_kept)
+
+
+def leftover_accept(target_probs: np.ndarray, draft_probs: np.ndarray,
+                    token: int, rng: np.random.Generator
+                    ) -> tuple[int, bool]:
+    """Speculative-sampling acceptance for one drafted token.
+
+    Accept ``token`` with probability ``min(1, p(token)/q(token))``;
+    on rejection, emit a sample from the normalised leftover
+    distribution ``max(0, p - q)`` (Leviathan et al.) — the emitted
+    marginal is exactly the target distribution ``p``.  Returns
+    ``(emitted_token, accepted)``; both branches consume exactly one
+    draw from ``rng`` (the rejection branch draws once more for the
+    residual sample).
+    """
+    p_d = float(target_probs[token])
+    q_d = float(draft_probs[token])
+    # u < min(1, p/q)  <=>  u * q < p  (q > 0 always: the draft sampled
+    # this token, so it carried mass; guard anyway).
+    if q_d > 0.0 and rng.random() * q_d < p_d:
+        return int(token), True
+    leftover = np.maximum(target_probs - draft_probs, 0.0)
+    mass = float(leftover.sum())
+    if mass <= 0.0:
+        # p <= q everywhere means p == q: the residual is empty and any
+        # target sample is already exact.
+        return sample_from_probs(target_probs, rng), False
+    return sample_from_probs(leftover / mass, rng), False
+
+
+class SpeculativeDecoder:
+    """Draft-side state of a speculative serving session.
+
+    One instance per engine, sized to the engine's slot pool: row ``r``
+    of the draft cache mirrors engine row ``r``.  ``_len[r]`` is the
+    drafted extent — how many of the request's tokens the draft model
+    has processed into its cache; it trails the engine's committed
+    length and is caught up with one ragged span forward at the start of
+    every :meth:`propose`.
+    """
+
+    def __init__(self, engine: "GenerationEngine",
+                 config: SpeculativeConfig):
+        self._engine = engine
+        self.config = config
+        self.draft = config.draft_model
+        batch = engine.max_batch_size
+        self._cache: KVCache | PagedKVCache | None = None
+        self._len = np.zeros(batch, dtype=np.int64)
+        self._req = np.full(batch, -1, dtype=np.int64)
+        self._rng: list[np.random.Generator | None] = [None] * batch
+
+    @property
+    def cache(self) -> KVCache | PagedKVCache | None:
+        """The draft's private KV cache (None until the first propose)."""
+        return self._cache
+
+    def _make_cache(self) -> KVCache | PagedKVCache:
+        engine = self._engine
+        num_layers = self.draft.config.num_layers
+        batch = engine.max_batch_size
+        if self.config.draft_kv_cache == "dense":
+            return KVCache(num_layers, batch=batch,
+                           initial_capacity=engine.initial_capacity)
+        initial_blocks = batch * max(
+            1, engine.initial_capacity // engine.block_size)
+        return PagedKVCache(num_layers, batch=batch,
+                            block_size=engine.block_size,
+                            initial_blocks=initial_blocks,
+                            block_decode=True)
+
+    def drop_rows(self, rows: np.ndarray) -> None:
+        """Forget a row's draft state (retire/cancel/preempt).
+
+        On a paged draft cache this returns the row's blocks to the
+        draft pool immediately; the RNG is discarded too, so a restored
+        request re-derives its draft stream from ``params.seed`` (draft
+        draws only steer *proposals*, never emitted tokens, so this
+        cannot perturb the request's output stream).
+        """
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        self._len[rows] = 0
+        self._req[rows] = -1
+        for row in rows:
+            self._rng[int(row)] = None
+        if self._cache is not None:
+            self._cache.free_rows(rows)
+            self._cache.trim(int(self._len.max()))
+
+    def propose(self, rows: np.ndarray, slots: list, lengths: np.ndarray,
+                k_eff: np.ndarray):
+        """Draft up to ``k_eff[j]`` proposal tokens for each row.
+
+        ``rows`` are engine cache rows, ``slots`` the matching engine
+        slots, ``lengths`` each row's committed context length ``L``
+        (so the row's pending token sits at token index ``L``), and
+        ``k_eff`` the per-row draft budget (all ``>= 1``).
+
+        Returns ``(proposals, qvecs, draft_tokens)``: per-row proposal
+        arrays of ``k_eff[j]`` tokens, per-row ``(k_eff[j], vocab)``
+        proposal-probability stacks (``None`` unless the policy is
+        ``"leftover"``), and the total number of token positions the
+        draft model forwarded (for accelerator-projection accounting).
+        """
+        if self._cache is None:
+            self._cache = self._make_cache()
+        cache = self._cache
+        config = self.draft.config
+        rows = np.asarray(rows, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        k_eff = np.asarray(k_eff, dtype=np.int64)
+        n = len(rows)
+        params = [slot.request.params for slot in slots]
+        rngs: list[np.random.Generator] = []
+        for j in range(n):
+            row = int(rows[j])
+            rid = slots[j].request.request_id
+            if self._req[row] != rid or self._rng[row] is None:
+                # A fresh (or restored) request in this row: start its
+                # draft stream and cache from scratch.
+                self._req[row] = rid
+                self._len[row] = 0
+                self._rng[row] = np.random.default_rng(
+                    (_DRAFT_SEED_SALT, params[j].seed))
+            rngs.append(self._rng[row])
+
+        # --- catch-up: one ragged span forward over every token the ---
+        # --- draft has not yet seen (through the pending token at L) ---
+        starts = self._len[rows].copy()
+        widths = lengths + 1 - starts            # >= 1: _len trails L
+        width = int(widths.max())
+        toks = np.zeros((n, width), dtype=np.int64)
+        positions = np.zeros((n, width), dtype=np.int64)
+        max_pos = config.max_seq_len - 1
+        offsets = np.arange(width)
+        for j in range(n):
+            s, w = int(starts[j]), int(widths[j])
+            full = np.concatenate(
+                [slots[j].request.prompt,
+                 np.asarray(slots[j].generated, dtype=np.int64)])
+            toks[j, :w] = full[s:s + w]
+            positions[j] = np.minimum(s + offsets, max_pos)
+        total = max(int((starts + widths).max()), cache.seq_len)
+        query_pos = starts[:, None] + offsets[None, :]
+        allow = np.arange(total)[None, None, :] <= query_pos[:, :, None]
+        kv_mask = np.where(allow, 0.0, -np.inf).astype(np.float32)[:, None]
+        out = self.draft(toks, cache=cache, cache_rows=rows,
+                         cache_lens=widths, cache_starts=starts,
+                         positions=positions, kv_mask=kv_mask,
+                         logits_positions=widths - 1)
+        logits_now = np.array(out.data[:, 0])     # (n, vocab)
+        draft_tokens = int(widths.sum())
+
+        # --- autoregressive proposals: sample d_{i+1}, forward it as a
+        # single-token decode to get the logits for d_{i+2} (the last
+        # proposal is never forwarded — the target's verify supersedes
+        # the draft's opinion of what follows it) ---
+        need_probs = self.config.policy == "leftover"
+        proposals: list[list[int]] = [[] for _ in range(n)]
+        qvecs: list[list[np.ndarray]] | None = \
+            [[] for _ in range(n)] if need_probs else None
+        for i in range(int(k_eff.max())):
+            sub = np.flatnonzero(k_eff > i)
+            res = self._engine._sample_with(
+                logits_now[sub], [params[j] for j in sub],
+                [rngs[j] for j in sub], return_probs=need_probs)
+            drafted, probs = res if need_probs else (res, None)
+            for jj, j in enumerate(sub):
+                proposals[j].append(int(drafted[jj]))
+                if need_probs:
+                    qvecs[j].append(probs[jj])
+            nxt = np.flatnonzero(k_eff > i + 1)
+            if len(nxt) == 0:
+                break
+            pos = lengths[nxt] + i + 1
+            tok = np.array([proposals[j][-1] for j in nxt], dtype=np.int64)
+            total = max(cache.seq_len, int(pos.max()) + 1)
+            mask = np.where(
+                np.arange(total)[None, :] < (pos + 1)[:, None],
+                0.0, -np.inf).astype(np.float32)[:, None, None, :]
+            out = self.draft(tok[:, None], cache=cache,
+                             positions=pos[:, None], kv_mask=mask,
+                             decode_rows=rows[nxt])
+            draft_tokens += len(nxt)
+            logits_now[nxt] = out.data[:, -1]
+
+        self._len[rows] = lengths + k_eff
+        props = [np.asarray(p, dtype=np.int64) for p in proposals]
+        qout = None
+        if need_probs:
+            qout = [np.stack(q) if q else None for q in qvecs]
+        return props, qout, draft_tokens
+
+    def commit(self, rows: np.ndarray, committed: np.ndarray) -> None:
+        """Clamp drafted extents to the verify's committed lengths.
+
+        A draft position is valid while the token it caches is still on
+        the request's committed path — accepted proposals stay, the
+        first rejected position and everything after it are clamped off.
+        On a paged draft cache the clamp releases whole uncovered blocks
+        via :meth:`PagedKVCache.truncate_rows`; stale tail positions
+        inside kept storage are masked by the next catch-up's causal
+        mask and overwritten in place.
+        """
+        if self._cache is None:
+            return
+        rows = np.asarray(rows, dtype=np.int64)
+        new_lens = np.minimum(self._len[rows],
+                              np.asarray(committed, dtype=np.int64))
+        self._cache.truncate_rows(rows, new_lens)
+        self._len[rows] = new_lens
+        self._cache.trim(int(self._len.max()))
