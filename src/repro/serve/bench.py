@@ -25,10 +25,16 @@ token-identical output) is the asserted chunked-prefill number.
 ``spec_sweep`` pairs a draft model with the served target and measures
 speculative decode tokens/sec against target-only decode over a
 ``k`` x batch grid — the small-batch latency lever the draft/verify
-pipeline buys.  Every ``--json`` export goes through
-:func:`export_report`, which stamps the payload with the benched model,
-the cache backend(s), and the repo's git commit.  Run directly for a
-smoke report on an untrained tiny model (fast enough for CI):
+pipeline buys.  ``gateway_sweep`` (in :mod:`repro.serve.gateway.bench`)
+measures the durable serving gateway against the raw engine: saturated
+goodput overhead plus first-token p50/p99 under open-loop Poisson
+arrivals.  Every ``--json`` export goes through :func:`export_report`,
+which stamps the payload with the benched model, the cache backend(s),
+and the repo's git commit; every report point serializes through
+:func:`repro.serve.engine.dataclass_to_dict`, the same path
+``GET /metrics`` uses, so gauges mean the same thing in CI artifacts
+and scrapes.  Run directly for a smoke report on an untrained tiny
+model (fast enough for CI):
 
     PYTHONPATH=src python -m repro.serve --smoke
     PYTHONPATH=src python -m repro.serve --mem --smoke --json BENCH_serve_mem.json
@@ -37,6 +43,7 @@ smoke report on an untrained tiny model (fast enough for CI):
     PYTHONPATH=src python -m repro.serve --decode --smoke --json BENCH_serve_decode.json
     PYTHONPATH=src python -m repro.serve --latency --smoke --json BENCH_serve_latency.json
     PYTHONPATH=src python -m repro.serve --spec --smoke --json BENCH_serve_spec.json
+    PYTHONPATH=src python -m repro.serve --gateway --smoke --json BENCH_serve_gateway.json
 """
 
 from __future__ import annotations
@@ -44,7 +51,7 @@ from __future__ import annotations
 import json
 import subprocess
 import time
-from dataclasses import dataclass, asdict
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -52,7 +59,7 @@ import numpy as np
 from repro.autograd import no_grad
 from repro.nn.kv_cache import KVCache
 from repro.nn.model import TransformerLM
-from repro.serve.engine import GenerationEngine
+from repro.serve.engine import GenerationEngine, dataclass_to_dict
 from repro.serve.spec import SpeculativeConfig
 
 
@@ -314,14 +321,8 @@ class MemoryReport:
         return out
 
     def to_dict(self) -> dict:
-        points = []
-        for p in self.points:
-            entry = asdict(p)
-            entry["decode_tokens_per_s"] = p.decode_tokens_per_s
-            entry["bytes_per_cached_token"] = p.bytes_per_cached_token
-            points.append(entry)
         return {"model": self.model, "block_size": self.block_size,
-                "points": points}
+                "points": [dataclass_to_dict(p) for p in self.points]}
 
 
 def memory_point(model: TransformerLM, prompts: list[np.ndarray],
@@ -468,17 +469,10 @@ class PrefixReport:
         return out
 
     def to_dict(self) -> dict:
-        points = []
-        for p in self.points:
-            entry = asdict(p)
-            entry["decode_tokens_per_s"] = p.decode_tokens_per_s
-            entry["physical_bytes_per_cached_token"] = \
-                p.physical_bytes_per_cached_token
-            entry["prefill_tokens_avoided"] = p.prefill_tokens_avoided
-            points.append(entry)
         return {"model": self.model, "block_size": self.block_size,
                 "prefix_len": self.prefix_len,
-                "share_ratio": self.share_ratio, "points": points}
+                "share_ratio": self.share_ratio,
+                "points": [dataclass_to_dict(p) for p in self.points]}
 
 
 def prefix_point(model: TransformerLM, prompts: list[np.ndarray],
@@ -607,8 +601,7 @@ class DecodeReport:
     def to_dict(self) -> dict:
         points = []
         for p in self.points:
-            entry = asdict(p)
-            entry["decode_tokens_per_s"] = p.decode_tokens_per_s
+            entry = dataclass_to_dict(p)
             if p.block_decode:
                 entry["speedup_vs_gather"] = self.speedup(p.mode,
                                                           p.context_len)
@@ -734,10 +727,8 @@ class SpecReport:
     def to_dict(self) -> dict:
         points = []
         for p in self.points:
-            entry = asdict(p)
-            entry["decode_tokens_per_s"] = p.decode_tokens_per_s
+            entry = dataclass_to_dict(p)
             if p.k > 0:
-                entry["acceptance_rate"] = p.acceptance_rate
                 entry["speedup_vs_target_only"] = self.speedup(
                     p.draft, p.k, p.batch_size)
             points.append(entry)
@@ -849,12 +840,8 @@ class StreamLatencyReport:
         return out
 
     def to_dict(self) -> dict:
-        points = []
-        for p in self.points:
-            entry = asdict(p)
-            entry["streamed_tokens_per_s"] = p.streamed_tokens_per_s
-            points.append(entry)
-        return {"model": self.model, "points": points}
+        return {"model": self.model,
+                "points": [dataclass_to_dict(p) for p in self.points]}
 
 
 def stream_latency(model: TransformerLM, prompts: list[np.ndarray],
@@ -952,7 +939,7 @@ class MixedLatencyReport:
     def to_dict(self) -> dict:
         points = []
         for p in self.points:
-            entry = asdict(p)
+            entry = dataclass_to_dict(p)
             if p.prefill_chunk_tokens is not None:
                 entry["p95_improvement_vs_oneshot"] = self.p95_ratio(p.mode)
             points.append(entry)
@@ -1095,6 +1082,15 @@ def main(argv: list[str] | None = None) -> None:
                              "target pairs over a k x batch grid, vs "
                              "target-only decode) instead of the "
                              "throughput sweep")
+    parser.add_argument("--gateway", action="store_true",
+                        help="run the serving-gateway sweep (raw engine vs "
+                             "durable gateway goodput, plus first-token "
+                             "p50/p99 under Poisson arrivals) instead of "
+                             "the throughput sweep")
+    parser.add_argument("--load", type=float, default=0.7,
+                        help="Poisson arrival rate as a fraction of the "
+                             "saturated gateway service rate for "
+                             "--gateway (default 0.7)")
     parser.add_argument("--drafts", default=None,
                         help="comma list of zoo draft model names for "
                              "--spec (default llama-sim-3b; ignored with "
@@ -1142,18 +1138,44 @@ def main(argv: list[str] | None = None) -> None:
         name = "tiny (untrained)"
 
     if sum((args.mem, args.stream, args.prefix, args.decode,
-            args.latency, args.spec)) > 1:
-        parser.error("--mem, --stream, --prefix, --decode, --latency, and "
-                     "--spec are separate sweeps; pick one")
+            args.latency, args.spec, args.gateway)) > 1:
+        parser.error("--mem, --stream, --prefix, --decode, --latency, "
+                     "--spec, and --gateway are separate sweeps; pick one")
     if args.context_lens and not args.decode:
         parser.error("--context-lens only applies to --decode")
     if (args.drafts or args.ks) and not args.spec:
         parser.error("--drafts/--ks only apply to --spec")
     if args.json and not (args.mem or args.stream or args.prefix
-                          or args.decode or args.latency or args.spec):
+                          or args.decode or args.latency or args.spec
+                          or args.gateway):
         parser.error("--json requires --mem, --stream, --prefix, --decode, "
-                     "--latency, or --spec (the throughput sweep has no "
-                     "JSON report)")
+                     "--latency, --spec, or --gateway (the throughput "
+                     "sweep has no JSON report)")
+    if args.gateway:
+        from repro.serve.gateway.bench import gateway_sweep
+        batches = (args.batch_sizes or ("4" if args.smoke else "16")) \
+            .split(",")
+        if len(batches) != 1:
+            parser.error("--gateway sweeps a single batch size; pass one "
+                         "value to --batch-sizes")
+        batch = int(batches[0])
+        max_new = (args.max_new_tokens if args.max_new_tokens is not None
+                   else (8 if args.smoke else 16))
+        num = (args.num_prompts if args.num_prompts is not None
+               else (8 if args.smoke else 2 * batch))
+        report = gateway_sweep(model, num_requests=num,
+                               max_new_tokens=max_new, batch_size=batch,
+                               load=args.load)
+        print(f"serving gateway on {name} ({num} requests x {max_new} "
+              f"new tokens, batch {batch}, Poisson load {args.load:.0%})")
+        print(format_table(["path", "completed", "goodput tok/s",
+                            "first-token p50 ms", "p99 ms"],
+                           report.rows()))
+        print(f"gateway overhead vs raw engine: "
+              f"{report.overhead_ratio:.2f}x")
+        if args.json:
+            export_report(report, args.json, name, "paged")
+        return
     if args.spec:
         if args.num_prompts is not None:
             parser.error("--num-prompts has no effect with --spec (each "

@@ -99,7 +99,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import NamedTuple
 
 import numpy as np
@@ -120,6 +120,22 @@ KV_CACHE_MODES = ("paged", "fineq", "dense")
 
 #: Every terminal state a request can reach.
 FINISH_REASONS = ("length", "eos", "stop", "max_seq_len", "cancelled")
+
+
+def dataclass_to_dict(obj) -> dict:
+    """Serialize a dataclass including its computed ``@property`` values.
+
+    The one shape every exported stats/benchmark payload uses: stored
+    fields via :func:`dataclasses.asdict` plus each property evaluated on
+    the instance, so derived numbers (rates, per-token ratios) land in
+    JSON next to the counters they come from instead of being re-derived
+    by every consumer.
+    """
+    out = asdict(obj)
+    for name in dir(type(obj)):
+        if isinstance(getattr(type(obj), name), property):
+            out[name] = getattr(obj, name)
+    return out
 
 
 @dataclass(frozen=True)
@@ -163,6 +179,17 @@ class SamplingParams:
     def greedy(self) -> bool:
         """True when sampling degenerates to argmax (token-identical)."""
         return self.temperature <= 0.0 or self.top_k == 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready stored fields (the durable queue's journal shape)."""
+        out = asdict(self)
+        out["stop_tokens"] = list(self.stop_tokens)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SamplingParams":
+        """Rebuild params from :meth:`to_dict` output (journal replay)."""
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -352,6 +379,14 @@ class EngineStats:
         return self.spec_accepted / self.spec_proposed \
             if self.spec_proposed else 0.0
 
+    def to_dict(self) -> dict:
+        """Counters plus derived rates, JSON-ready.
+
+        The single serialization the gateway's ``/metrics`` endpoint and
+        the benchmark JSON exports share (see :func:`dataclass_to_dict`).
+        """
+        return dataclass_to_dict(self)
+
 
 class StepTrace(NamedTuple):
     """One decode step's workload, for accelerator projection.
@@ -391,6 +426,10 @@ class StepTrace(NamedTuple):
     spec_accepted: int = 0
     spec_draft_tokens: int = 0
     spec_verify_tokens: int = 0
+
+    def to_dict(self) -> dict:
+        """Field-named dict, JSON-ready (trace exports and ``/metrics``)."""
+        return dict(self._asdict())
 
 
 @dataclass
@@ -723,6 +762,23 @@ class GenerationEngine:
             request=request, tokens=prompt, generated=[],
             rng=np.random.default_rng(params.seed)))
         return request.request_id
+
+    def submit_from_record(self, record) -> int:
+        """Submit a durable queue record; returns the engine request id.
+
+        ``record`` is anything with ``prompt`` and ``params`` attributes
+        (the gateway's :class:`~repro.serve.gateway.queue.QueuedJob`).
+        The params must carry a *resolved* seed: a record re-dispatched
+        after a crash has to regenerate the exact token stream its
+        journal already holds, which an engine-drawn seed (a function of
+        this engine's RNG state) would not.
+        """
+        params = record.params
+        if params.seed is None:
+            raise ValueError(
+                "queue records must carry a resolved seed — durability "
+                "needs the stream to be reproducible across restarts")
+        return self.submit(record.prompt, params=params)
 
     def cancel(self, request_id: int) -> bool:
         """Terminate a queued or running request immediately.

@@ -1,0 +1,251 @@
+"""Gateway goodput and first-token latency vs the raw engine.
+
+Three measurements on the same workload (same model, prompts, batch
+width, cache backend):
+
+* ``engine`` — every prompt submitted up front to a bare
+  :class:`GenerationEngine`, drained through ``stream()``.  The ceiling:
+  no journal, no dispatch loop, no fan-out.
+* ``gateway`` — the same saturated wave through a
+  :class:`ServingGateway` (sqlite journaling, admission, subscriber
+  fan-out), driven by its synchronous ``pump()``.  The report's
+  ``overhead_ratio`` divides the engine goodput by this one — the
+  benchmark suite asserts it stays within 1.25x, i.e. durability costs
+  at most a quarter of throughput at batch 16.
+* ``gateway-poisson`` — open-loop arrivals: requests land on the
+  *running* async gateway with exponential inter-arrival gaps at
+  ``load`` x the saturated service rate, the regime a front door
+  actually operates in.  First-token p50/p99 here are queue-wait plus
+  prefill — the latency numbers ``GET /metrics`` reports in production.
+
+Every measurement reports *goodput* — completed tokens per wall-clock
+second, counting only requests that reached ``completed`` — so a
+gateway that dropped or wedged requests would show up as a goodput
+hole, not just a latency blip.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.model import TransformerLM
+from repro.serve.bench import bench_prompts
+from repro.serve.engine import (GenerationEngine, SamplingParams,
+                                dataclass_to_dict)
+from repro.serve.gateway.gateway import ServingGateway
+from repro.serve.gateway.queue import RequestQueue
+
+
+@dataclass(frozen=True)
+class GatewayPoint:
+    """One measured serving path (see module docstring for labels)."""
+
+    label: str                   # "engine" | "gateway" | "gateway-poisson"
+    batch_size: int
+    num_requests: int
+    completed: int
+    max_new_tokens: int
+    generated_tokens: int        # tokens of requests that completed
+    elapsed_seconds: float       # first submit -> last completion
+    first_token_p50_s: float
+    first_token_p99_s: float
+    engine_stats: dict | None = None  # EngineStats.to_dict() of the run
+
+    @property
+    def goodput_tokens_per_s(self) -> float:
+        return (self.generated_tokens / self.elapsed_seconds
+                if self.elapsed_seconds else 0.0)
+
+
+@dataclass(frozen=True)
+class GatewayReport:
+    """Engine ceiling vs gateway (saturated and Poisson) on one workload."""
+
+    model: str
+    kv_cache: str
+    batch_size: int
+    load: float                  # Poisson arrival rate / saturated rate
+    points: tuple[GatewayPoint, ...]
+
+    def point(self, label: str) -> GatewayPoint:
+        for candidate in self.points:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no point labelled {label!r}")
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Raw-engine goodput over saturated-gateway goodput (>= 1; the
+        benchmark suite asserts <= 1.25 at batch 16)."""
+        gateway = self.point("gateway").goodput_tokens_per_s
+        return (self.point("engine").goodput_tokens_per_s / gateway
+                if gateway else 0.0)
+
+    def rows(self) -> list[list[str]]:
+        out = []
+        for p in self.points:
+            out.append([p.label, f"{p.completed}/{p.num_requests}",
+                        f"{p.goodput_tokens_per_s:,.0f}",
+                        f"{1e3 * p.first_token_p50_s:,.1f}",
+                        f"{1e3 * p.first_token_p99_s:,.1f}"])
+        return out
+
+    def to_dict(self) -> dict:
+        return {"model": self.model, "kv_cache": self.kv_cache,
+                "batch_size": self.batch_size, "load": self.load,
+                "overhead_ratio": self.overhead_ratio,
+                "points": [dataclass_to_dict(p) for p in self.points]}
+
+
+def engine_goodput(model: TransformerLM, prompts: list[np.ndarray],
+                   max_new_tokens: int, batch_size: int,
+                   kv_cache: str = "paged",
+                   block_size: int = 16) -> GatewayPoint:
+    """The ceiling: a bare engine draining one saturated wave."""
+    engine = GenerationEngine(model, max_batch_size=batch_size,
+                              kv_cache=kv_cache, block_size=block_size)
+    for prompt in prompts:
+        engine.submit(prompt, max_new_tokens)
+    firsts: dict[int, float] = {}
+    start = time.perf_counter()
+    for event in engine.stream():
+        if event.request_id not in firsts and event.token is not None:
+            firsts[event.request_id] = time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    completions = engine.take_completions()
+    generated = sum(len(c.new_tokens) for c in completions
+                    if c.finish_reason != "cancelled")
+    latencies = np.asarray(list(firsts.values()), dtype=np.float64)
+    return GatewayPoint(
+        label="engine", batch_size=batch_size, num_requests=len(prompts),
+        completed=len(completions), max_new_tokens=max_new_tokens,
+        generated_tokens=generated, elapsed_seconds=elapsed,
+        first_token_p50_s=float(np.percentile(latencies, 50))
+        if latencies.size else 0.0,
+        first_token_p99_s=float(np.percentile(latencies, 99))
+        if latencies.size else 0.0,
+        engine_stats=engine.stats.to_dict())
+
+
+def _finish_point(label: str, gateway: ServingGateway, num_requests: int,
+                  max_new_tokens: int, elapsed: float) -> GatewayPoint:
+    queue = gateway.queue
+    completed_ids = queue.job_ids("completed")
+    generated = sum(len(queue.tokens(job_id)) for job_id in completed_ids)
+    metrics = gateway.metrics()
+    return GatewayPoint(
+        label=label, batch_size=gateway.engine.max_batch_size,
+        num_requests=num_requests, completed=len(completed_ids),
+        max_new_tokens=max_new_tokens, generated_tokens=generated,
+        elapsed_seconds=elapsed,
+        first_token_p50_s=metrics["latency"]["first_token_p50_s"],
+        first_token_p99_s=metrics["latency"]["first_token_p99_s"],
+        engine_stats=metrics["engine"])
+
+
+def gateway_goodput(model: TransformerLM, prompts: list[np.ndarray],
+                    max_new_tokens: int, batch_size: int,
+                    kv_cache: str = "paged", block_size: int = 16,
+                    journal_path: str = ":memory:") -> GatewayPoint:
+    """The same saturated wave through the full gateway pump loop.
+
+    Everything the durable path adds — seed resolution, sqlite journal
+    writes (one transaction per engine step), dispatch bookkeeping,
+    completion settlement — is on the clock; only the HTTP socket layer
+    is not.
+    """
+    engine = GenerationEngine(model, max_batch_size=batch_size,
+                              kv_cache=kv_cache, block_size=block_size)
+    gateway = ServingGateway(engine, RequestQueue(journal_path))
+    start = time.perf_counter()
+    for prompt in prompts:
+        gateway.submit(prompt, max_new_tokens=max_new_tokens)
+    while gateway.queue.depth() > 0:
+        gateway.pump()
+    elapsed = time.perf_counter() - start
+    point = _finish_point("gateway", gateway, len(prompts),
+                          max_new_tokens, elapsed)
+    gateway.queue.close()
+    return point
+
+
+def gateway_poisson(model: TransformerLM, prompts: list[np.ndarray],
+                    max_new_tokens: int, batch_size: int, *,
+                    service_tokens_per_s: float, load: float = 0.7,
+                    kv_cache: str = "paged", block_size: int = 16,
+                    journal_path: str = ":memory:",
+                    seed: int = 0) -> GatewayPoint:
+    """Open-loop arrivals on the running async gateway.
+
+    Requests arrive with exponential inter-arrival gaps whose rate is
+    ``load`` x the measured saturated service rate
+    (``service_tokens_per_s / max_new_tokens`` requests/sec), so the
+    queue stays busy without growing unboundedly — the steady state
+    whose first-token p50/p99 the report carries.
+    """
+    rate = load * service_tokens_per_s / max_new_tokens
+    gaps = np.random.default_rng(seed).exponential(1.0 / rate,
+                                                   size=len(prompts)) \
+        if rate > 0 else np.zeros(len(prompts))
+
+    async def run() -> tuple[ServingGateway, float]:
+        engine = GenerationEngine(model, max_batch_size=batch_size,
+                                  kv_cache=kv_cache,
+                                  block_size=block_size)
+        gateway = ServingGateway(engine, RequestQueue(journal_path))
+        await gateway.start()
+        start = time.perf_counter()
+        for prompt, gap in zip(prompts, gaps):
+            await asyncio.sleep(float(gap))
+            gateway.submit(prompt, max_new_tokens=max_new_tokens)
+        await gateway.drain()
+        elapsed = time.perf_counter() - start
+        await gateway.stop()
+        return gateway, elapsed
+
+    gateway, elapsed = asyncio.run(run())
+    point = _finish_point("gateway-poisson", gateway, len(prompts),
+                          max_new_tokens, elapsed)
+    gateway.queue.close()
+    return point
+
+
+def gateway_sweep(model: TransformerLM, num_requests: int = 32,
+                  max_new_tokens: int = 16, batch_size: int = 16,
+                  kv_cache: str = "paged", block_size: int = 16,
+                  load: float = 0.7, journal_path: str = ":memory:",
+                  seed: int = 0) -> GatewayReport:
+    """Engine ceiling, saturated gateway, Poisson gateway — one report.
+
+    All three phases serve identical greedy prompts so goodput deltas
+    isolate the serving path.  The Poisson phase paces arrivals off the
+    *measured* saturated goodput, keeping the sweep meaningful from the
+    untrained tiny model (CI smoke) up the zoo.
+    """
+    prompts = bench_prompts(model.config.vocab_size, num=num_requests,
+                            seed=seed)
+    # Each phase gets its own journal: a shared file would fold the
+    # saturated phase's completed jobs into the Poisson phase's counts.
+    in_memory = journal_path == ":memory:"
+    sat_path = journal_path if in_memory else f"{journal_path}.saturated"
+    poisson_path = journal_path if in_memory else f"{journal_path}.poisson"
+    engine_point = engine_goodput(model, prompts, max_new_tokens,
+                                  batch_size, kv_cache=kv_cache,
+                                  block_size=block_size)
+    gateway_point = gateway_goodput(model, prompts, max_new_tokens,
+                                    batch_size, kv_cache=kv_cache,
+                                    block_size=block_size,
+                                    journal_path=sat_path)
+    poisson_point = gateway_poisson(
+        model, prompts, max_new_tokens, batch_size,
+        service_tokens_per_s=gateway_point.goodput_tokens_per_s,
+        load=load, kv_cache=kv_cache, block_size=block_size,
+        journal_path=poisson_path, seed=seed)
+    return GatewayReport(model=model.config.name, kv_cache=kv_cache,
+                         batch_size=batch_size, load=load,
+                         points=(engine_point, gateway_point,
+                                 poisson_point))

@@ -48,6 +48,19 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 SCHEDULERS = ("fifo", "prefix-affinity", "priority")
 
 
+def admission_key(priority: int, seq: int) -> tuple[int, int]:
+    """Canonical admission order: higher priority first, FIFO within.
+
+    The one comparator behind every priority-ordered queue in the
+    serving stack — :class:`PriorityScheduler`'s admission and prefill
+    ranking here, and the durable gateway queue's sqlite claim order
+    (``ORDER BY priority DESC, job_id ASC``) — so a request's priority
+    set at HTTP submit time means the same thing in the journal, at
+    dispatch, and inside the engine.
+    """
+    return (-priority, seq)
+
+
 @dataclass(frozen=True)
 class RunningInfo:
     """One active engine slot, as schedulers see it.
@@ -166,7 +179,7 @@ class PriorityScheduler(FIFOScheduler):
     def select(self, queue: Sequence, free_slots: int,
                view: SchedulerView) -> list:
         order = sorted(range(len(queue)),
-                       key=lambda i: (-queue[i].priority, i))
+                       key=lambda i: admission_key(queue[i].priority, i))
         return [queue[i] for i in order[:free_slots]]
 
     def preempt(self, queue: Sequence, view: SchedulerView) -> list[int]:
@@ -188,8 +201,8 @@ class PriorityScheduler(FIFOScheduler):
         """Highest priority drains first; FIFO within a level."""
         return [info.request_id
                 for info in sorted(prefilling,
-                                   key=lambda info: (-info.priority,
-                                                     info.request_id))]
+                                   key=lambda info: admission_key(
+                                       info.priority, info.request_id))]
 
     def victims_for_blocks(self, view: SchedulerView,
                            needed_blocks: int) -> list[int]:
